@@ -1,0 +1,1 @@
+"""Benchmark suite package (one module per paper artifact)."""

@@ -1,0 +1,31 @@
+"""Benchmark-suite plumbing.
+
+Every ``test_<artifact>`` module regenerates one table or figure of the
+paper: it runs the corresponding experiment once under
+``benchmark.pedantic`` (so ``pytest benchmarks/ --benchmark-only``
+times each full regeneration), prints the regenerated rows/series, and
+asserts the paper's qualitative shapes.  Additional micro-benchmarks
+time the underlying kernels with proper repetition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import QUICK
+
+
+@pytest.fixture(scope="session")
+def config():
+    return QUICK
+
+
+def run_and_report(benchmark, capsys, experiment, config):
+    """Run one experiment module under the benchmark timer and print it."""
+    res = benchmark.pedantic(experiment.run, args=(config,),
+                             rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(res.render())
+    assert res.shape_ok, [c.claim for c in res.checks if not c.holds]
+    return res

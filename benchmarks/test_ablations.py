@@ -1,0 +1,8 @@
+"""E13: design-choice ablations."""
+
+from repro.harness.experiments import ablations
+from benchmarks.conftest import run_and_report
+
+
+def test_ablations_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, ablations, config)

@@ -1,0 +1,18 @@
+"""DESIGN.md §6 extensions: Prim, CC, weighted BC, DM SSSP, partitions."""
+
+from repro.harness.experiments import extensions
+from benchmarks.conftest import run_and_report
+
+
+def test_extensions_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, extensions, config)
+
+
+def test_bench_connected_components(benchmark, config):
+    from repro.algorithms.connected_components import connected_components
+    from repro.generators import load_dataset
+    g = load_dataset("rca", scale=config.scale, seed=config.seed)
+    benchmark.pedantic(
+        lambda: connected_components(g, config.sm_runtime(g),
+                                     direction="push", pointer_jumping=True),
+        rounds=3, iterations=1)

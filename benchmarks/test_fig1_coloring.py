@@ -1,0 +1,18 @@
+"""Figure 1: BGC per-iteration times, push vs pull vs Greedy-Switch."""
+
+from repro.algorithms.coloring import boman_coloring
+from repro.generators import load_dataset
+from repro.harness.experiments import fig1
+from benchmarks.conftest import run_and_report
+
+
+def test_fig1_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig1, config)
+
+
+def test_bench_coloring_push(benchmark, config):
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    benchmark.pedantic(
+        lambda: boman_coloring(g, config.sm_runtime(g), direction="push",
+                               max_colors=config.max_colors),
+        rounds=3, iterations=1)

@@ -1,0 +1,21 @@
+"""Figure 2: SSSP-Delta per-epoch times and Delta sensitivity."""
+
+import numpy as np
+
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.generators import load_dataset
+from repro.harness.experiments import fig2
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig2, config)
+
+
+def test_bench_sssp_push(benchmark, config):
+    g = load_dataset("am", scale=config.scale, seed=config.seed,
+                     weighted=True)
+    src = int(np.argmax(np.diff(g.offsets)))
+    benchmark.pedantic(
+        lambda: sssp_delta(g, config.sm_runtime(g), src, direction="push"),
+        rounds=3, iterations=1)

@@ -1,0 +1,23 @@
+"""Figure 3: distributed-memory strong scaling of PR and TC."""
+
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.generators import load_dataset
+from repro.harness.config import QUICK
+from repro.harness.experiments import fig3
+from repro.runtime.dm import DMRuntime
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig3, config)
+
+
+def test_bench_dm_pagerank_mp(benchmark, config):
+    g = load_dataset("rmat", scale=config.scale, seed=config.seed)
+    machine = config.scaled_machine()
+
+    def run():
+        rt = DMRuntime(g.n, P=8, machine=machine)
+        return dm_pagerank(g, rt, variant="mp", iterations=2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,18 @@
+"""Figure 4: Boruvka MST phase times."""
+
+from repro.algorithms.mst_boruvka import boruvka_mst
+from repro.generators import load_dataset
+from repro.harness.experiments import fig4
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig4, config)
+
+
+def test_bench_mst_pull(benchmark, config):
+    g = load_dataset("orc", scale=config.scale, seed=config.seed,
+                     weighted=True)
+    benchmark.pedantic(
+        lambda: boruvka_mst(g, config.sm_runtime(g), direction="pull"),
+        rounds=3, iterations=1)

@@ -1,0 +1,18 @@
+"""Figure 5: Betweenness Centrality scalability."""
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.generators import load_dataset
+from repro.harness.experiments import fig5
+from benchmarks.conftest import run_and_report
+
+
+def test_fig5_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig5, config)
+
+
+def test_bench_bc_pull(benchmark, config):
+    g = load_dataset("orc", scale=config.scale_bc, seed=config.seed)
+    benchmark.pedantic(
+        lambda: betweenness_centrality(g, config.sm_runtime(g),
+                                       direction="pull", sources=4),
+        rounds=3, iterations=1)

@@ -1,0 +1,18 @@
+"""Figure 6: acceleration strategies (PA speedups, BGC iteration counts)."""
+
+from repro.harness.experiments import fig6
+from repro.generators import load_dataset
+from repro.strategies import pagerank_partition_aware
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, fig6, config)
+
+
+def test_bench_pagerank_pa(benchmark, config):
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    benchmark.pedantic(
+        lambda: pagerank_partition_aware(g, config.sm_runtime(g),
+                                         iterations=1),
+        rounds=3, iterations=1)

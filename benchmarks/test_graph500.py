@@ -1,0 +1,14 @@
+"""Graph500-style BFS kernel: construction + sampled-root TEPS."""
+
+from repro.harness.graph500 import report, run_graph500
+
+
+def test_graph500_kernel(benchmark, capsys, config):
+    result = benchmark.pedantic(
+        lambda: run_graph500(config, scale=min(config.scale, 11), n_roots=4),
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(report(result))
+    assert result.validated == len(result.roots)
+    assert result.harmonic_mean_teps > 0

@@ -1,0 +1,8 @@
+"""Section 4: the analytic PRAM cost table."""
+
+from repro.harness.experiments import pram
+from benchmarks.conftest import run_and_report
+
+
+def test_pram_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, pram, config)

@@ -1,0 +1,8 @@
+"""Table 1: the hardware-counter study (trace-driven cache simulation)."""
+
+from repro.harness.experiments import table1
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, table1, config)

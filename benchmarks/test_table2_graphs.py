@@ -1,0 +1,15 @@
+"""Table 2: the benchmark graph suite."""
+
+from repro.generators import load_dataset
+from repro.harness.experiments import table2
+from benchmarks.conftest import run_and_report
+
+
+def test_table2_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, table2, config)
+
+
+def test_bench_generator_community(benchmark, config):
+    """Throughput of the community-graph generator (orc stand-in)."""
+    from repro.generators import community_graph
+    benchmark(community_graph, 1 << config.scale, 20.0)

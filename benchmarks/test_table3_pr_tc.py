@@ -1,0 +1,34 @@
+"""Table 3: PR time/iteration and TC total time, push vs pull."""
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangle import triangle_count
+from repro.generators import load_dataset
+from repro.harness.experiments import table3
+from benchmarks.conftest import run_and_report
+
+
+def test_table3_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, table3, config)
+
+
+def test_bench_pagerank_pull_iteration(benchmark, config):
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    rt = config.sm_runtime(g)
+    benchmark.pedantic(
+        lambda: pagerank(g, rt, direction="pull", iterations=1),
+        rounds=3, iterations=1)
+
+
+def test_bench_pagerank_push_iteration(benchmark, config):
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    rt = config.sm_runtime(g)
+    benchmark.pedantic(
+        lambda: pagerank(g, rt, direction="push", iterations=1),
+        rounds=3, iterations=1)
+
+
+def test_bench_triangle_pull(benchmark, config):
+    g = load_dataset("ljn", scale=config.scale_tc, seed=config.seed)
+    rt = config.sm_runtime(g)
+    benchmark.pedantic(lambda: triangle_count(g, rt, direction="pull"),
+                       rounds=3, iterations=1)

@@ -1,0 +1,8 @@
+"""Table 4: PR per-iteration time across machine models."""
+
+from repro.harness.experiments import table4
+from benchmarks.conftest import run_and_report
+
+
+def test_table4_regeneration(benchmark, capsys, config):
+    run_and_report(benchmark, capsys, table4, config)

@@ -1,0 +1,60 @@
+"""Distributed PageRank: choosing a communication backend (Section 6.3).
+
+Runs the three DM PageRank variants -- Message Passing (Alltoallv),
+RMA push (float MPI_Accumulate) and RMA pull (MPI_Get of rank+degree)
+-- on the simulated Cray and prints the strong-scaling series plus the
+traffic breakdown that explains the >10x MP-over-RMA gap the paper
+measures, and the memory tradeoff that RMA wins.
+
+    python examples/distributed_pagerank.py
+"""
+
+import numpy as np
+
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.algorithms.reference import pagerank_reference
+from repro.generators import load_dataset
+from repro.machine import XC40
+from repro.machine.counters import format_count
+from repro.runtime.dm import DMRuntime
+
+
+def main() -> None:
+    g = load_dataset("rmat", scale=12)
+    machine = XC40.scaled(64)
+    ref = pagerank_reference(g, 8)
+    print(f"graph: {g}\n")
+
+    print(f"{'variant':<10} " + " ".join(f"P={p:<9}" for p in (4, 8, 16, 32)))
+    traffic = {}
+    for variant in ("mp", "rma-pull", "rma-push"):
+        times = []
+        for P in (4, 8, 16, 32):
+            rt = DMRuntime(g.n, P=P, machine=machine)
+            r = dm_pagerank(g, rt, variant=variant, iterations=8)
+            assert np.allclose(r.ranks, ref, atol=1e-12)
+            times.append(r.time)
+            if P == 16:
+                traffic[variant] = r
+        print(f"{variant:<10} " + " ".join(f"{t:<11,.0f}"[:11] for t in times))
+
+    print("\ntraffic at P=16 (8 iterations):")
+    print(f"{'variant':<10} {'collectives':>12} {'acc(float)':>12} "
+          f"{'gets':>10} {'bytes moved':>12} {'peak buffer':>12}")
+    for variant, r in traffic.items():
+        c = r.counters
+        moved = c.msg_bytes + c.collective_bytes + c.remote_bytes
+        print(f"{variant:<10} {c.collectives:>12} {c.remote_acc_float:>12} "
+              f"{c.remote_gets:>10} {format_count(moved):>12} "
+              f"{r.peak_buffer_cells:>10} c")
+
+    print(
+        "\nwhy MP wins here (Section 6.3.1): one Alltoallv per iteration\n"
+        "moves pre-combined updates, while RMA pays a per-edge-entry\n"
+        "one-sided op -- and the float accumulate takes the slow locking\n"
+        "protocol.  RMA's consolation prize is O(1) buffer memory where\n"
+        "MP buffers O(n·d̂/P) cells per process.")
+
+
+if __name__ == "__main__":
+    main()

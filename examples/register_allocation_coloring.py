@@ -1,0 +1,64 @@
+"""Graph coloring for scheduling: the Section-5 strategy ladder.
+
+GC "has multiple applications in scheduling and pattern matching"
+(Section 3.6).  This demo treats vertices as tasks and edges as
+conflicts (shared resources) and walks the full strategy ladder the
+paper builds for Boman coloring:
+
+    plain push / pull  ->  +Frontier-Exploit  ->  +Generic-Switch
+                       ->  +Greedy-Switch     ->  Conflict-Removal
+
+printing, for each, the iteration count, color count (= resource slots
+used), and simulated time.
+
+    python examples/register_allocation_coloring.py
+"""
+
+from repro.algorithms import boman_coloring
+from repro.algorithms.reference import is_proper_coloring
+from repro.generators import load_dataset
+from repro.machine import XC30
+from repro.runtime.sm import SMRuntime
+from repro.strategies import (
+    conflict_removal_coloring, frontier_exploit_coloring,
+)
+
+
+def main() -> None:
+    g = load_dataset("ljn", scale=12)
+    machine = XC30.scaled(64)
+    print(f"conflict graph: {g}\n")
+
+    def fresh_rt() -> SMRuntime:
+        return SMRuntime(g, P=16, machine=machine)
+
+    runs = []
+    for d in ("push", "pull"):
+        runs.append(boman_coloring(g, fresh_rt(), direction=d,
+                                   max_colors=256))
+    runs.append(frontier_exploit_coloring(g, fresh_rt()))
+    runs.append(frontier_exploit_coloring(g, fresh_rt(),
+                                          generic_switch=True))
+    runs.append(frontier_exploit_coloring(g, fresh_rt(),
+                                          greedy_switch=True))
+    runs.append(conflict_removal_coloring(g, fresh_rt()))
+
+    print(f"{'variant':<14} {'iters':>6} {'colors':>7} {'locks':>9} "
+          f"{'time [mtu]':>14}")
+    for r in runs:
+        assert is_proper_coloring(g, r.colors)
+        print(f"{r.direction:<14} {r.iterations:>6} {r.n_colors:>7} "
+              f"{r.counters.locks:>9,} {r.time:>14,.0f}")
+
+    print("\nreading the ladder (cf. Figures 1 and 6b):")
+    print(" * push runs cheaper iterations than pull but needs more of them;")
+    print(" * FE touches only a frontier per wave, but on dense graphs the")
+    print("   conflicts between concurrent claims inflate the wave count;")
+    print(" * GS switches to the conflict-free pull mode when waves start")
+    print("   thrashing; GrS hands the tail to a sequential greedy pass;")
+    print(" * CR pre-colors the border so the parallel phase cannot")
+    print("   conflict at all -- one pass, fewest colors.")
+
+
+if __name__ == "__main__":
+    main()

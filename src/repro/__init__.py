@@ -1,0 +1,40 @@
+"""repro: a reproduction of Besta et al., "To Push or To Pull: On
+Reducing Communication and Synchronization in Graph Computations"
+(HPDC'17), on a simulated parallel machine.
+
+Quickstart::
+
+    from repro.generators import load_dataset
+    from repro.runtime.sm import SMRuntime
+    from repro.algorithms import pagerank
+
+    g = load_dataset("orc", scale=12)
+    rt = SMRuntime(g, P=16)
+    result = pagerank(g, rt, direction="pull", iterations=20)
+    print(result.ranks[:5], result.time, result.counters.atomics)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.graph import CSRGraph, from_edges, Partition1D, PartitionAwareCSR
+from repro.machine import PerfCounters, MachineSpec, XC30, XC40, TRIVIUM
+from repro.runtime.sm import SMRuntime
+from repro.runtime.dm import DMRuntime
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "from_edges",
+    "Partition1D",
+    "PartitionAwareCSR",
+    "PerfCounters",
+    "MachineSpec",
+    "XC30",
+    "XC40",
+    "TRIVIUM",
+    "SMRuntime",
+    "DMRuntime",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List the machine models and registered datasets.
+``stats <dataset> [--scale N]``
+    Generate a dataset and print its Table-2-style statistics.
+``run <algorithm> <dataset> [--direction push|pull] [...]``
+    Run one algorithm on the simulated machine and print the result
+    summary plus the event counters.
+``experiments [...]``
+    Forwarded to :mod:`repro.harness.run_all`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.machine.counters import format_count
+
+_ALGORITHMS = ("pagerank", "bfs", "sssp", "bc", "coloring", "mst", "prim",
+               "triangles", "components")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list machines and datasets")
+
+    stats = sub.add_parser("stats", help="dataset statistics")
+    stats.add_argument("dataset")
+    stats.add_argument("--scale", type=int, default=12)
+    stats.add_argument("--seed", type=int, default=42)
+
+    run = sub.add_parser("run", help="run one algorithm")
+    run.add_argument("algorithm", choices=_ALGORITHMS)
+    run.add_argument("dataset")
+    run.add_argument("--direction", default="pull",
+                     choices=("push", "pull", "push-pa"))
+    run.add_argument("--scale", type=int, default=12)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--threads", "-P", type=int, default=16)
+    run.add_argument("--machine", default="XC30")
+    run.add_argument("--cache-scale", type=int, default=64)
+    run.add_argument("--iterations", type=int, default=10,
+                     help="PageRank / coloring iteration budget")
+    run.add_argument("--source", type=int, default=None,
+                     help="root vertex for traversals (default: max degree)")
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate the paper's tables and figures")
+    exp.add_argument("rest", nargs=argparse.REMAINDER)
+    return ap
+
+
+def _cmd_info() -> int:
+    from repro.generators.registry import DATASETS
+    from repro.machine.cost_model import MACHINES
+
+    print("machine models:")
+    for name, m in MACHINES.items():
+        print(f"  {name:<8} {m.cores} cores x {m.smt} SMT, "
+              f"atomic={m.w_atomic:.0f}c lock={m.w_lock:.0f}c "
+              f"L3 miss={m.w_l3_miss:.0f}c")
+    print("\ndatasets (paper Table 2 stand-ins):")
+    for name, spec in DATASETS.items():
+        print(f"  {name:<5} {spec.description}")
+        print(f"        paper: n={spec.paper_n} m={spec.paper_m} "
+              f"d̄={spec.paper_d_bar} D={spec.paper_diameter}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.generators.registry import load_dataset
+    from repro.graph.properties import graph_stats
+
+    g = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    s = graph_stats(g)
+    print(f"{args.dataset} @ scale {args.scale}: {g}")
+    for k, v in s.as_row().items():
+        print(f"  {k:<3} = {v}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.generators.registry import load_dataset
+    from repro.machine.cost_model import MACHINES
+    from repro.machine.memory import CountingMemory
+    from repro.runtime.sm import SMRuntime
+
+    if args.machine not in MACHINES:
+        print(f"unknown machine {args.machine!r}; have {sorted(MACHINES)}",
+              file=sys.stderr)
+        return 2
+    weighted = args.algorithm in ("sssp", "mst", "prim")
+    g = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                     weighted=weighted)
+    machine = MACHINES[args.machine].scaled(args.cache_scale)
+    rt = SMRuntime(g, P=args.threads, machine=machine,
+                   memory=CountingMemory(machine.hierarchy))
+    src = (args.source if args.source is not None
+           else int(np.argmax(np.diff(g.offsets))))
+
+    if args.algorithm == "pagerank":
+        from repro.algorithms import pagerank
+        r = pagerank(g, rt, direction=args.direction,
+                     iterations=args.iterations)
+        extra = f"top vertex {int(np.argmax(r.ranks))}"
+    elif args.algorithm == "bfs":
+        from repro.algorithms import bfs
+        r = bfs(g, rt, src, direction=args.direction)
+        extra = f"reached {int((r.level >= 0).sum())}/{g.n} from {src}"
+    elif args.algorithm == "sssp":
+        from repro.algorithms import sssp_delta
+        r = sssp_delta(g, rt, src, direction=args.direction)
+        extra = f"{r.epochs} epochs from {src}"
+    elif args.algorithm == "bc":
+        from repro.algorithms import betweenness_centrality
+        r = betweenness_centrality(g, rt, direction=args.direction,
+                                   sources=min(args.iterations, g.n))
+        extra = f"top broker {int(np.argmax(r.bc))} ({r.n_sources} sources)"
+    elif args.algorithm == "coloring":
+        from repro.algorithms import boman_coloring
+        r = boman_coloring(g, rt, direction=args.direction, max_colors=1024)
+        extra = f"{r.n_colors} colors in {r.iterations} iterations"
+    elif args.algorithm == "mst":
+        from repro.algorithms import boruvka_mst
+        r = boruvka_mst(g, rt, direction=args.direction)
+        extra = f"{len(r.edges)} edges, weight {r.total_weight:.1f}"
+    elif args.algorithm == "prim":
+        from repro.algorithms import prim_mst
+        r = prim_mst(g, rt, direction=args.direction)
+        extra = f"{len(r.edges)} edges, weight {r.total_weight:.1f}"
+    elif args.algorithm == "triangles":
+        from repro.algorithms import triangle_count
+        r = triangle_count(g, rt, direction=args.direction)
+        extra = f"{r.total} triangles"
+    else:
+        from repro.algorithms.connected_components import connected_components
+        r = connected_components(g, rt, direction=args.direction)
+        extra = f"{r.n_components} components in {r.rounds} rounds"
+
+    print(f"{args.algorithm} [{args.direction}] on {args.dataset} "
+          f"(scale {args.scale}, T={args.threads}, {args.machine}): {extra}")
+    print(f"simulated time: {r.time:,.0f} mtu")
+    c = r.counters
+    print("events: " + "  ".join(
+        f"{k}={format_count(getattr(c, k))}"
+        for k in ("reads", "writes", "atomics", "locks", "l3_misses",
+                  "branches_cond")))
+    return 0
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # forward everything after "experiments" verbatim (argparse REMAINDER
+    # refuses leading flags)
+    if argv and argv[0] == "experiments":
+        from repro.harness.run_all import main as run_all_main
+        return run_all_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    from repro.harness.run_all import main as run_all_main
+    return run_all_main(args.rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Push- and pull-based graph algorithms (Sections 3-4 of the paper).
+
+Every algorithm exists in a push variant (threads write to vertices
+they do not own, through atomics or locks) and a pull variant (threads
+only write their owned vertices), executed on the simulated
+shared-memory runtime with full event instrumentation.  Acceleration
+strategies (Section 5) live in :mod:`repro.strategies`;
+distributed-memory variants (Section 6.3) in
+:mod:`repro.algorithms.dm_pagerank` / :mod:`~repro.algorithms.dm_triangle`.
+"""
+
+from repro.algorithms.pagerank import pagerank, PageRankResult
+from repro.algorithms.triangle import triangle_count, TriangleCountResult
+from repro.algorithms.bfs import bfs, BFSResult
+from repro.algorithms.sssp_delta import sssp_delta, SSSPResult
+from repro.algorithms.bc import betweenness_centrality, BCResult
+from repro.algorithms.coloring import boman_coloring, ColoringResult
+from repro.algorithms.mst_boruvka import boruvka_mst, MSTResult
+from repro.algorithms.mst_prim import prim_mst, PrimResult
+from repro.algorithms.connected_components import connected_components, CCResult
+from repro.algorithms.bc_weighted import betweenness_centrality_weighted
+from repro.algorithms.bc_approx import approx_bc_vertex, ApproxBCResult
+
+__all__ = [
+    "pagerank", "PageRankResult",
+    "triangle_count", "TriangleCountResult",
+    "bfs", "BFSResult",
+    "sssp_delta", "SSSPResult",
+    "betweenness_centrality", "BCResult",
+    "boman_coloring", "ColoringResult",
+    "boruvka_mst", "MSTResult",
+    "prim_mst", "PrimResult",
+    "connected_components", "CCResult",
+    "betweenness_centrality_weighted",
+    "approx_bc_vertex", "ApproxBCResult",
+]

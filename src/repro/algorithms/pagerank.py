@@ -1,0 +1,223 @@
+"""Push- and pull-based PageRank (Algorithm 1; Partition-Awareness: Algorithm 8).
+
+The paper's Section-3.1 recurrence::
+
+    r(v) = (1 - f)/|V| + sum_{w in N(v)} f * r(w) / d(w)
+
+* **pull**: t[v] reads the (rank, degree) of every neighbor and
+  accumulates into its own vertex -- two random reads per edge entry,
+  zero atomics.
+* **push**: t[v] adds r(v)/d(v) into every neighbor's accumulator.
+  Since accumulators are floats and CPUs lack float atomics, each
+  remote add is a CAS loop on the bit pattern (Section 4.1 prices this
+  as O(Lm) lock/atomic events; Table 1 reports them in the ``atomics``
+  row, which we follow).
+* **push + Partition-Awareness**: Algorithm 8 -- each iteration first
+  updates *local* neighbors with plain writes into the thread's own
+  block (good locality, no atomics), then, after a barrier, updates
+  remote neighbors with atomics.
+
+All three share one finalization region per iteration that applies the
+damping to the accumulators and (optionally) measures the L1 delta for
+convergence-based termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.common import (
+    PULL, PUSH, AlgoResult, GraphArrays, block_bounds, check_direction,
+    segment_sums,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.partition_aware import PartitionAwareCSR
+from repro.runtime.sm import SMRuntime
+
+PUSH_PA = "push-pa"
+
+
+@dataclass
+class PageRankResult(AlgoResult):
+    """Ranks plus per-iteration simulated times."""
+
+    ranks: np.ndarray = None
+    converged: bool = False
+
+
+def pagerank(g: CSRGraph, rt: SMRuntime, direction: str = PULL,
+             iterations: int = 20, damping: float = 0.85,
+             pa: PartitionAwareCSR | None = None,
+             tol: float | None = None) -> PageRankResult:
+    """Run PageRank on the simulated SM runtime.
+
+    Parameters
+    ----------
+    direction:
+        ``"pull"``, ``"push"``, or ``"push-pa"`` (requires ``pa``).
+    iterations:
+        The paper's L (upper bound when ``tol`` is given).
+    tol:
+        Optional L1-convergence threshold for early termination.
+    """
+    check_direction(direction, (PUSH, PULL, PUSH_PA))
+    if direction == PUSH_PA and pa is None:
+        pa = PartitionAwareCSR(g, rt.part)
+    mem = rt.mem
+    ga = GraphArrays(mem, g)
+    # Section 4.8, "Directed Graphs": pushing iterates *outgoing* edges of
+    # active vertices, pulling iterates the *incoming* edges of every
+    # vertex -- so pull walks the transposed (CSC) structure and its cost
+    # bounds depend on d-hat_in where push's depend on d-hat_out.
+    gin = g.transposed()
+    gin_arrays = GraphArrays(mem, gin, prefix="gin") if g.directed else ga
+    n = g.n
+    deg = np.diff(g.offsets).astype(np.float64)   # out-degrees
+    inv_deg = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+    rank = np.full(n, 1.0 / max(n, 1))
+    acc = np.zeros(n)
+    base = (1.0 - damping) / max(n, 1)
+
+    rank_h = mem.register("pr.rank", rank)
+    acc_h = mem.register("pr.acc", acc)
+    deg_h = mem.register("pr.deg", deg)
+    # per-thread accumulator slices for the PA local phase: physically the
+    # same memory as ``acc`` but the thread's working set is only its block
+    slice_hs = [
+        mem.register(f"pr.acc.block{t}", max(rt.part.size(t), 1), 8)
+        for t in range(rt.P)
+    ]
+    if direction == PUSH_PA:
+        pa_adj_h = mem.register("pr.pa.adj", pa.adj)
+        pa_split_h = mem.register("pr.pa.split", pa.split)
+
+    start_time = rt.time
+    start_counters = rt.total_counters()
+    iteration_times: list[float] = []
+    converged = False
+    it = 0
+
+    # ---- per-iteration bodies (vectorized over each thread's block; the
+    # reported event counts equal the per-vertex formulation's) ----------
+
+    def pull_body(t: int, vs: np.ndarray) -> None:
+        if len(vs) == 0:
+            return
+        lo, hi = block_bounds(rt, vs, gin)
+        nbrs = gin.adj[lo:hi]
+        mem.read(gin_arrays.off, start=vs[0], count=len(vs) + 1)
+        mem.read(gin_arrays.adj, start=lo, count=hi - lo)
+        mem.read(rank_h, idx=nbrs, mode="rand")
+        mem.read(deg_h, idx=nbrs, mode="rand")
+        vals = rank[nbrs] * inv_deg[nbrs]
+        sums = segment_sums(vals, gin.offsets[vs] - lo,
+                            gin.offsets[vs + 1] - lo)
+        rt.owned_write_check(vs)
+        acc[vs] = sums
+        mem.write(acc_h, start=vs[0], count=len(vs))
+        mem.flop(2 * (hi - lo))
+        mem.branch_cond((hi - lo) + len(vs))
+
+    def zero_body(t: int, vs: np.ndarray) -> None:
+        acc[vs] = 0.0
+        mem.write(acc_h, start=vs[0] if len(vs) else 0, count=len(vs))
+
+    def push_body(t: int, vs: np.ndarray) -> None:
+        if len(vs) == 0:
+            return
+        lo, hi = block_bounds(rt, vs, g)
+        nbrs = g.adj[lo:hi]
+        mem.read(ga.off, start=vs[0], count=len(vs) + 1)
+        mem.read(ga.adj, start=lo, count=hi - lo)
+        mem.read(rank_h, start=vs[0], count=len(vs))
+        mem.read(deg_h, start=vs[0], count=len(vs))
+        contrib = (rank[vs] * inv_deg[vs]).repeat(np.diff(g.offsets[np.r_[vs, vs[-1] + 1]]))
+        np.add.at(acc, nbrs, contrib)
+        # float accumulate == CAS loop per update (no float atomics on CPUs)
+        mem.cas(acc_h, idx=nbrs, mode="rand")
+        mem.flop((hi - lo) + len(vs))
+        mem.branch_cond((hi - lo) + len(vs))
+
+    def pa_local_body(t: int, vs: np.ndarray) -> None:
+        if len(vs) == 0:
+            return
+        mem.read(ga.off, start=vs[0], count=len(vs) + 1)
+        mem.read(rank_h, start=vs[0], count=len(vs))
+        mem.read(deg_h, start=vs[0], count=len(vs))
+        block_start = rt.part.starts[t]
+        for v in vs:
+            lnbrs = pa.local_neighbors(v)
+            if len(lnbrs) == 0:
+                continue
+            mem.read(pa_adj_h, start=int(g.offsets[v]), count=len(lnbrs))
+            c = rank[v] * inv_deg[v]
+            acc[lnbrs] += c
+            # plain (non-atomic) writes confined to the thread's own block
+            mem.read(slice_hs[t], idx=lnbrs - block_start, mode="rand")
+            mem.write(slice_hs[t], idx=lnbrs - block_start, mode="rand")
+            mem.flop(len(lnbrs) + 1)
+            mem.branch_cond(len(lnbrs))
+
+    def pa_remote_body(t: int, vs: np.ndarray) -> None:
+        if len(vs) == 0:
+            return
+        mem.read(ga.off, start=vs[0], count=len(vs) + 1)
+        mem.read(rank_h, start=vs[0], count=len(vs))
+        mem.read(deg_h, start=vs[0], count=len(vs))
+        for v in vs:
+            rnbrs = pa.remote_neighbors(v)
+            if len(rnbrs) == 0:
+                continue
+            mem.read(pa_adj_h, start=int(pa.split[v]), count=len(rnbrs))
+            c = rank[v] * inv_deg[v]
+            acc[rnbrs] += c
+            # segregated remote stream: the batched-atomic discount applies
+            mem.cas(acc_h, idx=rnbrs, mode="rand", batched=True)
+            mem.flop(len(rnbrs) + 1)
+            mem.branch_cond(len(rnbrs))
+
+    deltas = np.zeros(rt.P)
+
+    def finalize_body(t: int, vs: np.ndarray) -> None:
+        if len(vs) == 0:
+            deltas[t] = 0.0
+            return
+        mem.read(acc_h, start=vs[0], count=len(vs))
+        new = base + damping * acc[vs]
+        if tol is not None:
+            deltas[t] = float(np.abs(new - rank[vs]).sum())
+            mem.read(rank_h, start=vs[0], count=len(vs))
+            mem.flop(2 * len(vs))
+        rank[vs] = new
+        mem.write(rank_h, start=vs[0], count=len(vs))
+        mem.flop(2 * len(vs))
+
+    # ---- iteration loop --------------------------------------------------------
+    for it in range(1, iterations + 1):
+        t0 = rt.time
+        if direction == PULL:
+            rt.for_each_thread(pull_body)
+        elif direction == PUSH:
+            rt.for_each_thread(zero_body)
+            rt.for_each_thread(push_body)
+        else:  # PUSH_PA, Algorithm 8: local phase | barrier | remote phase
+            rt.for_each_thread(zero_body)
+            rt.for_each_thread(pa_local_body)
+            rt.for_each_thread(pa_remote_body)
+        rt.for_each_thread(finalize_body)
+        iteration_times.append(rt.time - t0)
+        if tol is not None and deltas.sum() < tol:
+            converged = True
+            break
+
+    return PageRankResult(
+        direction=direction,
+        time=rt.time - start_time,
+        counters=rt.total_counters() - start_counters,
+        iterations=it,
+        iteration_times=iteration_times,
+        ranks=rank,
+        converged=converged,
+    )

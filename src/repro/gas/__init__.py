@@ -1,0 +1,26 @@
+"""Gather-Apply-Scatter abstraction (Section 7.4).
+
+A GAS vertex program supplies ``gather`` / ``apply`` / ``scatter``; the
+engine runs them per active vertex until quiescence, in either a pull
+execution (each active vertex gathers from its neighbors) or a push
+execution (each updated vertex scatters into its neighbors' pending
+accumulators).  SSSP and greedy coloring are provided as the two
+programs the paper walks through.
+"""
+
+from repro.gas.engine import GASEngine, VertexProgram
+from repro.gas.programs import (
+    SSSPProgram, ColoringProgram, PageRankProgram,
+    gas_sssp, gas_coloring, gas_pagerank,
+)
+
+__all__ = [
+    "GASEngine",
+    "VertexProgram",
+    "SSSPProgram",
+    "ColoringProgram",
+    "gas_sssp",
+    "gas_coloring",
+    "PageRankProgram",
+    "gas_pagerank",
+]

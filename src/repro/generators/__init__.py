@@ -1,0 +1,33 @@
+"""Synthetic graph generators and the benchmark dataset registry.
+
+The paper benchmarks on power-law Kronecker (R-MAT) and Erdős–Rényi
+synthetic graphs plus SNAP real-world graphs of three sparsity classes
+(Table 2).  We generate scaled-down stand-ins with matching (d̄, D,
+skew) regimes; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.generators.erdos_renyi import erdos_renyi
+from repro.generators.kronecker import rmat, kronecker
+from repro.generators.road import road_network, grid_graph
+from repro.generators.realworld import community_graph, purchase_graph
+from repro.generators.registry import DATASETS, DatasetSpec, load_dataset, dataset_table
+from repro.generators.synthetic_extra import (
+    watts_strogatz, barabasi_albert, bipartite_random,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "kronecker",
+    "road_network",
+    "grid_graph",
+    "community_graph",
+    "purchase_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_table",
+    "watts_strogatz",
+    "barabasi_albert",
+    "bipartite_random",
+]

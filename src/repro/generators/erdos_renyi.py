@@ -1,0 +1,28 @@
+"""Erdős–Rényi G(n, m) graphs (Section 6: "Erdős-Rényi graphs with
+n in {2^20..2^28} and d-bar in {2^1..2^10}" -- here at reduced scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def erdos_renyi(n: int, d_bar: float, seed: int = 0, weighted: bool = False,
+                max_weight: float = 100.0) -> CSRGraph:
+    """Sample an undirected G(n, m) graph with ``m ~= n * d_bar`` edges.
+
+    Edges are sampled uniformly with replacement and deduplicated, so
+    the realized m is slightly below the target for dense settings --
+    the same convention most generators (and the Graph500 maker) use.
+    """
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    target_m = int(n * d_bar)
+    src = rng.integers(0, n, size=target_m, dtype=np.int64)
+    dst = rng.integers(0, n, size=target_m, dtype=np.int64)
+    edges = np.stack([src, dst], axis=1)
+    weights = rng.uniform(1.0, max_weight, size=target_m) if weighted else None
+    return from_edges(n, edges, weights, directed=False)

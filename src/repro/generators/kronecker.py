@@ -1,0 +1,55 @@
+"""Kronecker / R-MAT power-law graph generator.
+
+The paper's synthetic workloads are "power-law Kronecker graphs"
+(citing Leskovec et al.) -- in practice generated with the R-MAT
+recursive quadrant sampler, which is also what Graph500 uses.  Each
+edge picks a quadrant of the adjacency matrix per bit of the vertex id
+with probabilities (a, b, c, d); the default (0.57, 0.19, 0.19, 0.05)
+are the Graph500 parameters producing a skewed (power-law-like) degree
+distribution and a low effective diameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def rmat(scale: int, d_bar: float = 16.0, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed: int = 0, weighted: bool = False,
+         max_weight: float = 100.0) -> CSRGraph:
+    """Sample an undirected R-MAT graph with ``2**scale`` vertices.
+
+    Parameters mirror Graph500: ``scale`` is log2(n) and ``d_bar`` the
+    target edges-per-vertex (the paper's d̄, i.e. m/n).
+    """
+    if not (0 < a and 0 <= b and 0 <= c and a + b + c < 1.0):
+        raise ValueError("quadrant probabilities must be positive and sum < 1")
+    n = 1 << scale
+    m = int(n * d_bar)
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # vectorized over edges, one pass per bit
+    for _ in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a) & (r < a + b)        # src stays, dst gets 1-bit
+        go_down = (r >= a + b) & (r < a + b + c)  # src gets 1-bit
+        go_diag = r >= a + b + c                  # both
+        src = (src << 1) | (go_down | go_diag)
+        dst = (dst << 1) | (go_right | go_diag)
+    edges = np.stack([src, dst], axis=1)
+    # permute ids so degree does not correlate with vertex index (Graph500
+    # does the same); keeps 1D block partitions honest.
+    perm = rng.permutation(n).astype(np.int64)
+    edges = perm[edges]
+    weights = rng.uniform(1.0, max_weight, size=m) if weighted else None
+    return from_edges(n, edges, weights, directed=False)
+
+
+def kronecker(scale: int, d_bar: float = 16.0, seed: int = 0,
+              weighted: bool = False) -> CSRGraph:
+    """Alias for :func:`rmat` with Graph500 default quadrant weights."""
+    return rmat(scale, d_bar=d_bar, seed=seed, weighted=weighted)

@@ -1,0 +1,130 @@
+"""The benchmark dataset registry (the paper's Table 2, scaled down).
+
+Each named dataset reproduces the *sparsity class* of its Table-2
+namesake at a size where the trace-instrumented pure-Python runtime
+finishes in seconds:
+
+=====  ==================================  =========  ======  ======
+ID     paper graph                         class      d̄       D
+=====  ==================================  =========  ======  ======
+orc    Orkut social network                dense      39      9
+pok    Pokec social network                dense      18.75   11
+ljn    LiveJournal ground-truth community  medium     8.67    17
+am     Amazon purchase network             sparse     3.43    32
+rca    California road network             sparse     1.4     849
+rmat   R-MAT / Kronecker synthetic         skewed     2-16    19-33
+er     Erdős–Rényi synthetic               uniform    param   ~log n
+=====  ==================================  =========  ======  ======
+
+Loaded graphs are memoized per (name, scale, seed, weighted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.generators.erdos_renyi import erdos_renyi
+from repro.generators.kronecker import rmat
+from repro.generators.realworld import community_graph, purchase_graph
+from repro.generators.road import road_network
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import graph_stats
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset: generator plus its Table-2 reference row."""
+
+    name: str
+    description: str
+    paper_n: str
+    paper_m: str
+    paper_d_bar: str
+    paper_diameter: str
+    make: Callable[[int, int, bool], CSRGraph]  # (scale, seed, weighted) -> graph
+
+
+def _orc(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    n = 1 << scale
+    return community_graph(n, d_bar=39.0, seed=seed, weighted=weighted,
+                           intra_fraction=0.65)
+
+
+def _pok(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    n = 1 << scale
+    return community_graph(n, d_bar=18.75, seed=seed + 1, weighted=weighted,
+                           intra_fraction=0.6)
+
+
+def _ljn(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    n = 1 << scale
+    return community_graph(n, d_bar=8.67, seed=seed + 2, weighted=weighted,
+                           intra_fraction=0.55, exponent=2.3)
+
+
+def _am(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    n = 1 << scale
+    return purchase_graph(n, edges_per_vertex=3, seed=seed + 3, weighted=weighted)
+
+
+def _rca(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    side = int((1 << scale) ** 0.5)
+    return road_network(side, side, keep=0.70, seed=seed + 4, weighted=weighted)
+
+
+def _rmat(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    return rmat(scale, d_bar=16.0, seed=seed + 5, weighted=weighted)
+
+
+def _er(scale: int, seed: int, weighted: bool) -> CSRGraph:
+    return erdos_renyi(1 << scale, d_bar=8.0, seed=seed + 6, weighted=weighted)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "orc": DatasetSpec("orc", "Orkut-like social network (dense, low D)",
+                       "3.07M", "117M", "39", "9", _orc),
+    "pok": DatasetSpec("pok", "Pokec-like social network (dense, low D)",
+                       "1.63M", "22.3M", "18.75", "11", _pok),
+    "ljn": DatasetSpec("ljn", "LiveJournal-like community graph (medium)",
+                       "3.99M", "34.6M", "8.67", "17", _ljn),
+    "am": DatasetSpec("am", "Amazon-like purchase network (sparse, moderate D)",
+                      "262k", "900k", "3.43", "32", _am),
+    "rca": DatasetSpec("rca", "California-road-like network (sparse, huge D)",
+                       "1.96M", "2.76M", "1.4", "849", _rca),
+    "rmat": DatasetSpec("rmat", "R-MAT / Kronecker power-law synthetic",
+                        "33M-268M", "66M-4.28B", "2-16", "19-33", _rmat),
+    "er": DatasetSpec("er", "Erdős–Rényi uniform synthetic",
+                      "2^20-2^28", "n·d̄", "2-1024", "~log n", _er),
+}
+
+_CACHE: dict[tuple, CSRGraph] = {}
+
+
+def load_dataset(name: str, scale: int = 12, seed: int = 42,
+                 weighted: bool = False) -> CSRGraph:
+    """Materialize a registry dataset at ``2**scale`` vertices (memoized)."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(DATASETS)}")
+    key = (name, scale, seed, weighted)
+    if key not in _CACHE:
+        _CACHE[key] = DATASETS[name].make(scale, seed, weighted)
+    return _CACHE[key]
+
+
+def dataset_table(scale: int = 12, seed: int = 42,
+                  names: tuple[str, ...] = ("orc", "pok", "ljn", "am", "rca")
+                  ) -> list[dict]:
+    """Rows for the Table-2 reproduction: paper stats vs generated stats."""
+    rows = []
+    for name in names:
+        spec = DATASETS[name]
+        g = load_dataset(name, scale=scale, seed=seed)
+        s = graph_stats(g)
+        rows.append({
+            "ID": name,
+            "paper n": spec.paper_n, "paper m": spec.paper_m,
+            "paper d̄": spec.paper_d_bar, "paper D": spec.paper_diameter,
+            "n": s.n, "m": s.m, "d̄": round(s.d_bar, 2), "D": s.diameter,
+        })
+    return rows

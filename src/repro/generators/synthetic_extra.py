@@ -1,0 +1,89 @@
+"""Additional synthetic families used by ablations and tests.
+
+Not part of the paper's benchmark suite, but useful probes for the
+push/pull machinery:
+
+* :func:`watts_strogatz` -- small-world graphs: high clustering with a
+  tunable rewiring rate that sweeps the diameter from Θ(n) (ring) down
+  to Θ(log n), sitting between the road and community regimes.
+* :func:`barabasi_albert` -- pure preferential attachment (the
+  purchase-graph generator adds closure on top of this).
+* :func:`bipartite_random` -- random bipartite graphs; with the two
+  sides owned by different threads this is exactly the 2m-atomics worst
+  case of Section 5's Partition-Awareness bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def watts_strogatz(n: int, k: int = 4, rewire: float = 0.1,
+                   seed: int = 0, weighted: bool = False,
+                   max_weight: float = 10.0) -> CSRGraph:
+    """A Watts–Strogatz ring lattice with random rewiring.
+
+    Every vertex starts connected to its ``k`` nearest ring neighbors
+    (``k`` must be even); each edge endpoint is rewired to a uniform
+    random vertex with probability ``rewire``.
+    """
+    if k % 2 or k <= 0:
+        raise ValueError("k must be positive and even")
+    if not 0.0 <= rewire <= 1.0:
+        raise ValueError("rewire must be a probability")
+    if n <= k:
+        raise ValueError("need n > k")
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(n, dtype=np.int64), k // 2)
+    hops = np.tile(np.arange(1, k // 2 + 1, dtype=np.int64), n)
+    dst = (src + hops) % n
+    flip = rng.random(len(dst)) < rewire
+    dst = dst.copy()
+    dst[flip] = rng.integers(0, n, size=int(flip.sum()))
+    edges = np.stack([src, dst], axis=1)
+    weights = rng.uniform(1.0, max_weight, size=len(edges)) if weighted else None
+    return from_edges(n, edges, weights, directed=False)
+
+
+def barabasi_albert(n: int, attach: int = 2, seed: int = 0,
+                    weighted: bool = False,
+                    max_weight: float = 10.0) -> CSRGraph:
+    """Preferential attachment: each new vertex links to ``attach``
+    earlier vertices sampled proportionally to degree (endpoint-pool
+    sampling)."""
+    if attach < 1 or n <= attach:
+        raise ValueError("need n > attach >= 1")
+    rng = np.random.default_rng(seed)
+    pool = list(range(attach))
+    edges = []
+    for v in range(attach, n):
+        chosen = set()
+        while len(chosen) < attach:
+            chosen.add(pool[int(rng.integers(0, len(pool)))])
+        for u in chosen:
+            edges.append((v, u))
+            pool.append(u)
+            pool.append(v)
+    edges = np.asarray(edges, dtype=np.int64)
+    weights = rng.uniform(1.0, max_weight, size=len(edges)) if weighted else None
+    return from_edges(n, edges, weights, directed=False)
+
+
+def bipartite_random(n_left: int, n_right: int, d_bar: float = 4.0,
+                     seed: int = 0, weighted: bool = False,
+                     max_weight: float = 10.0) -> CSRGraph:
+    """A random bipartite graph: left side = ids [0, n_left), right side
+    = ids [n_left, n_left + n_right); every edge crosses."""
+    if n_left < 1 or n_right < 1:
+        raise ValueError("both sides must be nonempty")
+    rng = np.random.default_rng(seed)
+    n = n_left + n_right
+    m = int(n * d_bar / 2)
+    src = rng.integers(0, n_left, size=m)
+    dst = rng.integers(n_left, n, size=m)
+    edges = np.stack([src, dst], axis=1)
+    weights = rng.uniform(1.0, max_weight, size=m) if weighted else None
+    return from_edges(n, edges, weights, directed=False)

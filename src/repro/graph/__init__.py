@@ -1,0 +1,36 @@
+"""Graph substrate: CSR representation, construction, partitioning.
+
+Implements the representation of Section 2.2 of the paper: neighbor
+arrays of all vertices concatenated into one contiguous array plus an
+offset array (``n + 2m`` cells for an undirected graph), 1D vertex
+partitioning over threads/processes, and the Partition-Aware split
+representation of Section 5 (``2n + 2m`` cells).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import (
+    from_edges,
+    from_networkx,
+    to_networkx,
+    relabel_random,
+)
+from repro.graph.partition import Partition1D
+from repro.graph.partition_aware import PartitionAwareCSR
+from repro.graph.properties import GraphStats, graph_stats, approx_diameter
+from repro.graph.validate import ValidationError, validate_bfs_tree, validate_sssp
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "relabel_random",
+    "Partition1D",
+    "PartitionAwareCSR",
+    "GraphStats",
+    "graph_stats",
+    "approx_diameter",
+    "ValidationError",
+    "validate_bfs_tree",
+    "validate_sssp",
+]

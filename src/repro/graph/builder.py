@@ -1,0 +1,134 @@
+"""Graph construction from edge lists and networkx interchange."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def from_edges(n: int, edges, weights=None, directed: bool = False,
+               dedup: bool = True) -> CSRGraph:
+    """Build a :class:`CSRGraph` from an edge array.
+
+    Parameters
+    ----------
+    n:
+        Vertex count (vertices are ``0..n-1``).
+    edges:
+        ``(k, 2)`` array-like of endpoint pairs.  Self loops are
+        dropped; for undirected graphs each pair is mirrored.
+    weights:
+        Optional ``k``-vector of non-negative edge weights.
+    directed:
+        Build a directed graph (edges are arcs ``u -> v``).
+    dedup:
+        Drop duplicate (parallel) edges, keeping the *minimum* weight
+        among duplicates (the convention that keeps SSSP well defined).
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) != len(edges):
+            raise ValueError("weights must match edges")
+        if np.any(weights < 0):
+            raise ValueError("edge weights must be non-negative")
+    if len(edges) and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoint out of range")
+
+    keep = edges[:, 0] != edges[:, 1]
+    edges = edges[keep]
+    if weights is not None:
+        weights = weights[keep]
+
+    if not directed:
+        edges = np.concatenate([edges, edges[:, ::-1]], axis=0)
+        if weights is not None:
+            weights = np.concatenate([weights, weights])
+
+    if len(edges) == 0:
+        return CSRGraph(np.zeros(n + 1, dtype=np.int64),
+                        np.empty(0, dtype=np.int32),
+                        np.empty(0) if weights is not None else None,
+                        directed=directed)
+
+    if dedup:
+        if weights is not None:
+            # sort by (src, dst, weight) so the first of each run carries
+            # the minimum weight
+            order = np.lexsort((weights, edges[:, 1], edges[:, 0]))
+        else:
+            order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        if weights is not None:
+            weights = weights[order]
+        uniq = np.ones(len(edges), dtype=bool)
+        uniq[1:] = np.any(edges[1:] != edges[:-1], axis=1)
+        edges = edges[uniq]
+        if weights is not None:
+            weights = weights[uniq]
+    else:
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        if weights is not None:
+            weights = weights[order]
+
+    counts = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(counts, edges[:, 0] + 1, 1)
+    offsets = np.cumsum(counts)
+    return CSRGraph(offsets, edges[:, 1].astype(np.int32), weights,
+                    directed=directed)
+
+
+def from_networkx(g) -> CSRGraph:
+    """Convert a networkx (Di)Graph with integer-labelable nodes.
+
+    Nodes are relabelled to ``0..n-1`` in sorted order; a ``weight``
+    edge attribute, if present on every edge, is carried over.
+    """
+    import networkx as nx
+
+    nodes = sorted(g.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    directed = g.is_directed()
+    edges, weights = [], []
+    weighted = all("weight" in d for _, _, d in g.edges(data=True)) and g.number_of_edges() > 0
+    for u, v, d in g.edges(data=True):
+        edges.append((index[u], index[v]))
+        if weighted:
+            weights.append(float(d["weight"]))
+    return from_edges(len(nodes), np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+                      np.asarray(weights) if weighted else None, directed=directed)
+
+
+def to_networkx(g: CSRGraph):
+    """Convert to a networkx graph (carrying weights when present)."""
+    import networkx as nx
+
+    out = nx.DiGraph() if g.directed else nx.Graph()
+    out.add_nodes_from(range(g.n))
+    src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.offsets))
+    if g.weights is not None:
+        out.add_weighted_edges_from(
+            zip(src.tolist(), g.adj.tolist(), g.weights.tolist()))
+    else:
+        out.add_edges_from(zip(src.tolist(), g.adj.tolist()))
+    return out
+
+
+def relabel_random(g: CSRGraph, seed: int = 0) -> CSRGraph:
+    """Randomly permute vertex ids (stress-tests partition sensitivity).
+
+    Partition-Awareness results depend on how many neighbors land in
+    the owning thread's block (Section 5 bounds atomics between 0 and
+    2m by the distribution); relabelling lets experiments probe both
+    ends.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(g.n).astype(np.int64)
+    pairs = g.edges()
+    new_edges = perm[pairs]
+    weights = None
+    if g.weights is not None:
+        weights = np.array([g.weight_of(int(v), int(w)) for v, w in pairs])
+    return from_edges(g.n, new_edges, weights, directed=g.directed)

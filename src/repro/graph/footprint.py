@@ -1,0 +1,68 @@
+"""Memory-footprint accounting for the representations the paper sizes.
+
+Section 2.2 sizes the CSR representation at n + 2m cells; Section 5's
+Partition-Awareness grows it to 2n + 2m; Section 6.3 compares the O(1)
+auxiliary storage of RMA against MP's O(n·d̂/P) buffers.  This module
+turns those cell counts into byte figures for concrete graphs, so the
+tradeoffs can be reported next to the time results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition1D
+from repro.graph.partition_aware import PartitionAwareCSR
+
+_CELL = 8  # the paper counts machine words
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Byte sizes of a graph's representations and per-process buffers."""
+
+    n: int
+    m: int
+    csr_cells: int                #: n + 2m (Section 2.2)
+    pa_cells: int                 #: 2n + 2m (Section 5)
+    weights_cells: int            #: 2m if weighted else 0
+    mp_buffer_cells_bound: int    #: O(n·d̂ / P) per process (Section 6.3.1)
+    rma_buffer_cells: int         #: O(1) per process
+
+    @property
+    def csr_bytes(self) -> int:
+        return self.csr_cells * _CELL
+
+    @property
+    def pa_overhead_fraction(self) -> float:
+        """Relative growth of PA over plain CSR (n / (n + 2m))."""
+        return (self.pa_cells - self.csr_cells) / self.csr_cells
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.n, "m": self.m,
+            "CSR cells": self.csr_cells,
+            "PA cells": self.pa_cells,
+            "PA overhead": f"{self.pa_overhead_fraction:.1%}",
+            "MP buffer bound (cells/proc)": self.mp_buffer_cells_bound,
+            "RMA buffer (cells/proc)": self.rma_buffer_cells,
+        }
+
+
+def footprint(g: CSRGraph, P: int = 16) -> Footprint:
+    """Compute the representation footprint of ``g`` under ``P`` owners."""
+    if P <= 0:
+        raise ValueError("P must be positive")
+    d_hat = g.max_degree
+    return Footprint(
+        n=g.n,
+        m=g.m,
+        csr_cells=g.n_cells,
+        pa_cells=PartitionAwareCSR(g, Partition1D(g.n, P)).n_cells,
+        weights_cells=(len(g.adj) if g.weights is not None else 0),
+        mp_buffer_cells_bound=(g.n * d_hat) // max(P, 1),
+        rma_buffer_cells=1,
+    )

@@ -1,0 +1,80 @@
+"""1D vertex partitioning.
+
+Section 2.2: "We partition G by vertices (1D decomposition).  We denote
+the number of used threads/processes as P.  We name a thread (process)
+that owns a given vertex v as t[v]."
+
+The default decomposition is contiguous blocks of (nearly) equal size,
+so ownership tests are O(1) arithmetic rather than a lookup -- this is
+what makes the Partition-Awareness local/remote split of Section 5
+cheap to compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Partition1D:
+    """Contiguous-block 1D decomposition of vertices ``0..n-1`` over ``P`` owners.
+
+    Block b owns ``[start(b), start(b+1))`` with sizes differing by at
+    most one vertex.
+    """
+
+    def __init__(self, n: int, P: int) -> None:
+        if P <= 0:
+            raise ValueError("P must be positive")
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self.P = P
+        base, extra = divmod(n, P)
+        sizes = np.full(P, base, dtype=np.int64)
+        sizes[:extra] += 1
+        self.starts = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.starts[1:])
+
+    def owner(self, v) -> np.ndarray | int:
+        """t[v]: owner thread of vertex v (scalar or vectorized)."""
+        result = np.searchsorted(self.starts, np.asarray(v), side="right") - 1
+        if np.isscalar(v) or np.asarray(v).ndim == 0:
+            return int(result)
+        return result
+
+    def owned(self, t: int) -> np.ndarray:
+        """The contiguous vertex range owned by thread ``t``."""
+        return np.arange(self.starts[t], self.starts[t + 1], dtype=np.int64)
+
+    def owned_slice(self, t: int) -> slice:
+        return slice(int(self.starts[t]), int(self.starts[t + 1]))
+
+    def size(self, t: int) -> int:
+        return int(self.starts[t + 1] - self.starts[t])
+
+    def is_local(self, t: int, w) -> np.ndarray | bool:
+        """Whether vertex/vertices ``w`` are owned by thread ``t``."""
+        w = np.asarray(w)
+        res = (w >= self.starts[t]) & (w < self.starts[t + 1])
+        if w.ndim == 0:
+            return bool(res)
+        return res
+
+    def border_vertices(self, g) -> np.ndarray:
+        """The set B of Section 3.6: vertices with >= 1 cross-partition edge."""
+        owners = self.owner(np.arange(g.n))
+        src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.offsets))
+        cross = owners[src] != owners[g.adj]
+        border = np.zeros(g.n, dtype=bool)
+        border[src[cross]] = True
+        border[g.adj[cross]] = True
+        return np.flatnonzero(border)
+
+    def group_by_owner(self, vertices: np.ndarray) -> list[np.ndarray]:
+        """Split a vertex set into per-owner subsets (order preserved)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        owners = self.owner(vertices)
+        return [vertices[owners == t] for t in range(self.P)]
+
+    def __repr__(self) -> str:
+        return f"Partition1D(n={self.n}, P={self.P})"

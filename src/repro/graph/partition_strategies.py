@@ -1,0 +1,136 @@
+"""Alternative 1D vertex decompositions.
+
+The paper fixes the 1D block decomposition (Section 2.2), but several
+of its results are sensitive to how the partition cuts edges: the
+Partition-Awareness atomic count is exactly the remote-entry count
+(Section 5 bounds it by [0, 2m]), and BGC's border set B grows with the
+cut.  These variants let experiments probe that sensitivity:
+
+* :class:`BlockPartition` -- the paper's contiguous blocks (an alias of
+  :class:`~repro.graph.partition.Partition1D`).
+* :class:`HashPartition` -- pseudo-random ownership; maximizes the cut
+  (every neighbor is remote with probability (P-1)/P), the worst case
+  for PA.
+* :class:`LocalityPartition` -- BFS-layered relabeling followed by
+  blocks: vertices discovered together land in the same block, which
+  minimizes the cut on meshes/road networks (a cheap stand-in for a
+  real partitioner like METIS, which is out of scope).
+
+All variants present the :class:`Partition1D` interface, so every
+algorithm and the PA representation accept them unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition1D
+
+BlockPartition = Partition1D
+
+
+class _RelabeledPartition(Partition1D):
+    """Block partition over a permutation of the vertex ids.
+
+    ``perm[v]`` is v's position in the reordered space; ownership and
+    locality follow the reordered blocks while all public methods keep
+    speaking original vertex ids.
+    """
+
+    def __init__(self, n: int, P: int, perm: np.ndarray) -> None:
+        super().__init__(n, P)
+        if len(perm) != n or not np.array_equal(np.sort(perm), np.arange(n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        self._perm = perm.astype(np.int64)
+        # inverse: block position -> original vertex
+        self._inv = np.empty(n, dtype=np.int64)
+        self._inv[perm] = np.arange(n, dtype=np.int64)
+
+    def owner(self, v):
+        result = np.searchsorted(self.starts, self._perm[np.asarray(v)],
+                                 side="right") - 1
+        if np.isscalar(v) or np.asarray(v).ndim == 0:
+            return int(result)
+        return result
+
+    def owned(self, t: int) -> np.ndarray:
+        return np.sort(self._inv[self.starts[t]:self.starts[t + 1]])
+
+    def owned_slice(self, t: int):
+        raise NotImplementedError(
+            "relabeled partitions do not own contiguous id ranges; "
+            "use owned(t)")
+
+    def is_local(self, t: int, w):
+        pos = self._perm[np.asarray(w)]
+        res = (pos >= self.starts[t]) & (pos < self.starts[t + 1])
+        if np.asarray(w).ndim == 0:
+            return bool(res)
+        return res
+
+    def group_by_owner(self, vertices: np.ndarray) -> list[np.ndarray]:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        owners = self.owner(vertices)
+        return [vertices[owners == t] for t in range(self.P)]
+
+    def border_vertices(self, g) -> np.ndarray:
+        owners = self.owner(np.arange(g.n))
+        src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.offsets))
+        cross = owners[src] != owners[g.adj]
+        border = np.zeros(g.n, dtype=bool)
+        border[src[cross]] = True
+        border[g.adj[cross]] = True
+        return np.flatnonzero(border)
+
+
+class HashPartition(_RelabeledPartition):
+    """Pseudo-random ownership (a fixed seeded shuffle)."""
+
+    def __init__(self, n: int, P: int, seed: int = 0x5eed) -> None:
+        rng = np.random.default_rng(seed)
+        super().__init__(n, P, rng.permutation(n))
+
+
+class LocalityPartition(_RelabeledPartition):
+    """Blocks over a BFS (Cuthill–McKee-flavored) vertex ordering."""
+
+    def __init__(self, g: CSRGraph, P: int) -> None:
+        order = bfs_ordering(g)
+        perm = np.empty(g.n, dtype=np.int64)
+        perm[order] = np.arange(g.n, dtype=np.int64)
+        super().__init__(g.n, P, perm)
+
+
+def bfs_ordering(g: CSRGraph) -> np.ndarray:
+    """Vertices in BFS discovery order, restarting per component."""
+    order = np.empty(g.n, dtype=np.int64)
+    seen = np.zeros(g.n, dtype=bool)
+    pos = 0
+    for root in range(g.n):
+        if seen[root]:
+            continue
+        seen[root] = True
+        queue = [root]
+        while queue:
+            nxt = []
+            for v in queue:
+                order[pos] = v
+                pos += 1
+                for w in g.neighbors(v):
+                    if not seen[w]:
+                        seen[w] = True
+                        nxt.append(int(w))
+            queue = nxt
+    return order
+
+
+def edge_cut(g: CSRGraph, part: Partition1D) -> int:
+    """Number of adjacency entries whose endpoints have different owners.
+
+    This equals the PA atomic count per push+PA PageRank iteration and
+    twice the undirected cut size.
+    """
+    owners = part.owner(np.arange(g.n))
+    src = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.offsets))
+    return int((owners[src] != owners[g.adj]).sum())

@@ -1,0 +1,21 @@
+"""Experiment harness: regenerates every table and figure of Section 6.
+
+Each module in :mod:`repro.harness.experiments` exposes
+``run(quick=...) -> ExperimentResult`` for one paper artifact; the
+result carries the regenerated rows/series, the shape assertions that
+must hold against the paper, and render helpers.  ``python -m
+repro.harness.run_all`` executes everything and writes the markdown
+used in EXPERIMENTS.md.
+"""
+
+from repro.harness.tables import ExperimentResult, render_table, render_series
+from repro.harness.config import ExperimentConfig, DEFAULT, QUICK
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "render_series",
+    "ExperimentConfig",
+    "DEFAULT",
+    "QUICK",
+]

@@ -1,0 +1,86 @@
+"""Plain-text charts for the figure experiments.
+
+The harness renders every figure's data as rows and series; these
+helpers add terminal-friendly visualization -- unicode sparklines for
+per-iteration series and horizontal bar charts for cross-variant
+comparisons -- so ``run_all`` output reads like the paper's figures
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width > 0:
+        # resample by bucket means
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket):max(int((i + 1) * bucket),
+                                         int(i * bucket) + 1)])
+            / max(1, len(vals[int(i * bucket):max(int((i + 1) * bucket),
+                                                  int(i * bucket) + 1)]))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return _BLOCKS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1,
+                    int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5))]
+        for v in vals)
+
+
+def bar_chart(items, width: int = 40, fmt=lambda v: f"{v:,.0f}") -> str:
+    """A horizontal bar chart from (label, value) pairs.
+
+    Bars are scaled to the maximum value; labels are left-aligned.
+    """
+    items = [(str(k), float(v)) for k, v in items]
+    if not items:
+        return "(empty)"
+    label_w = max(len(k) for k, _ in items)
+    peak = max(v for _, v in items)
+    lines = []
+    for k, v in items:
+        n = 0 if peak <= 0 else max(1 if v > 0 else 0,
+                                    int(round(v / peak * width)))
+        lines.append(f"{k.ljust(label_w)}  {_BAR * n} {fmt(v)}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(items, width: int = 40, fmt=lambda v: f"{v:,.0f}") -> str:
+    """Bar chart on a log scale -- for the >10x spreads of Figure 3."""
+    items = [(str(k), float(v)) for k, v in items]
+    if not items:
+        return "(empty)"
+    positive = [v for _, v in items if v > 0]
+    if not positive:
+        return bar_chart(items, width, fmt)
+    lo = min(positive)
+    hi = max(positive)
+    label_w = max(len(k) for k, _ in items)
+    lines = []
+    for k, v in items:
+        if v <= 0:
+            n = 0
+        elif math.isclose(lo, hi):
+            n = width
+        else:
+            n = max(1, int(round((math.log(v) - math.log(lo))
+                                 / (math.log(hi) - math.log(lo)) * width)))
+        lines.append(f"{k.ljust(label_w)}  {_BAR * n} {fmt(v)}")
+    return "\n".join(lines)

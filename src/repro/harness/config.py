@@ -1,0 +1,59 @@
+"""Shared experiment configuration.
+
+Two presets: ``DEFAULT`` (the scales EXPERIMENTS.md was generated at)
+and ``QUICK`` (small enough for the benchmark suite / CI).  Scales are
+log2 of the vertex count handed to the generators; the cache hierarchy
+is shrunk by ``cache_scale`` to keep the stand-in graphs in the same
+out-of-cache regime as the paper's full-size graphs (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machine.cost_model import MACHINES, MachineSpec, XC30
+from repro.machine.memory import CacheSimMemory, CountingMemory
+from repro.runtime.sm import SMRuntime
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    scale: int = 13            #: log2 n for PR/BGC/BFS/SSSP experiments
+    scale_tc: int = 11         #: log2 n for O(m·d̂) triangle counting
+    scale_bc: int = 10         #: log2 n for O(n·m) betweenness
+    P: int = 16                #: simulated threads (T=16 in the paper's SM runs)
+    cache_scale: int = 64
+    machine: MachineSpec = XC30
+    seed: int = 42
+    pr_iterations: int = 5
+    bc_sources: int = 24
+    max_colors: int = 256
+
+    def scaled_machine(self, base: MachineSpec | None = None) -> MachineSpec:
+        return (base or self.machine).scaled(self.cache_scale)
+
+    def sm_runtime(self, g, base: MachineSpec | None = None,
+                   P: int | None = None, trace: bool = False) -> SMRuntime:
+        """An SMRuntime wired to this config's scaled machine.
+
+        ``trace=True`` swaps in the trace-driven cache simulator (for
+        the Table-1 hardware-counter reproduction).
+        """
+        m = self.scaled_machine(base)
+        P = P or self.P
+        if trace:
+            memory = CacheSimMemory(m.hierarchy, n_threads=P)
+        else:
+            memory = CountingMemory(m.hierarchy)
+        return SMRuntime(g, P=P, machine=m, memory=memory)
+
+    def with_(self, **kw) -> "ExperimentConfig":
+        return replace(self, **kw)
+
+
+DEFAULT = ExperimentConfig()
+# QUICK shrinks the graphs further and compensates by shrinking the
+# simulated caches more (cache_scale 256), keeping the same
+# out-of-cache regime as DEFAULT.
+QUICK = ExperimentConfig(scale=11, scale_tc=9, scale_bc=8, P=8,
+                         cache_scale=256, pr_iterations=3, bc_sources=8)

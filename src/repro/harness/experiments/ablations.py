@@ -1,0 +1,151 @@
+"""E13: ablations for the design choices DESIGN.md calls out.
+
+(a) direction-optimizing BFS vs pure push / pure pull (the paper's [4]);
+(b) Partition-Awareness atomics vs the Section-5 bounds [0, 2m];
+(c) static vs dynamic loop scheduling (Section 6 benchmarks both);
+(d) CSR vs CSC SpMSpV work as the frontier grows (Section 7.1);
+(e) the batched-atomic discount of the PA model (cost-model knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.pagerank import pagerank
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.la.matrix import adjacency_matrices
+from repro.la.semiring import OR_AND
+from repro.la.spmv import spmspv_csc, spmspv_csr
+from repro.machine.memory import CountingMemory
+from repro.runtime.sm import SMRuntime
+from repro.strategies.partition_awareness import pa_atomics_bounds
+from repro.strategies.switching import direction_optimizing_bfs
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult("Ablations", "design-choice ablations (E13)")
+
+    # --- (a) direction-optimizing BFS ------------------------------------------
+    do_results = {}
+    for name in ("ljn", "rca"):
+        g = load_dataset(name, scale=config.scale, seed=config.seed)
+        root = int(np.argmax(np.diff(g.offsets)))
+        times = {}
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g)
+            times[d] = bfs(g, rt, root, direction=d).time
+        rt = config.sm_runtime(g)
+        do = direction_optimizing_bfs(g, rt, root)
+        times["direction-optimizing"] = do.time
+        do_results[name] = (times, do)
+        res.rows.append({"ablation": f"BFS {name}", **times,
+                         "DO choices": "/".join(do.directions[:12])})
+    ljn_t, ljn_do = do_results["ljn"]
+    rca_t, rca_do = do_results["rca"]
+    res.check("DO-BFS beats pure push by >2x on the community graph "
+              "(Beamer et al. [4] report ~2.4x on such graphs)",
+              ljn_t["direction-optimizing"] * 2 < ljn_t["push"],
+              f"push/DO = {ljn_t['push'] / ljn_t['direction-optimizing']:.2f}")
+    res.check("DO-BFS switches to pull at the fat middle levels of the "
+              "community graph and never on the road network",
+              "pull" in ljn_do.directions and ljn_do.directions[0] == "push"
+              and "pull" not in rca_do.directions)
+    res.check("DO-BFS is close to the best fixed direction on both graphs "
+              "(robustness: within 1.5x)",
+              all(t["direction-optimizing"]
+                  < 1.5 * min(t["push"], t["pull"])
+                  for t, _ in do_results.values()))
+
+    # --- (b) PA atomics bounds -----------------------------------------------------
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    lo, actual, hi = pa_atomics_bounds(g, config.P)
+    rt = config.sm_runtime(g)
+    r = pagerank(g, rt, direction="push-pa", iterations=1)
+    res.rows.append({"ablation": "PA atomics/iter (orc)", "lower": lo,
+                     "measured": r.counters.atomics, "remote entries": actual,
+                     "upper (2m)": hi})
+    res.check("measured PA atomics per iteration equal the remote-entry "
+              "count and sit inside the Section-5 bounds [0, 2m]",
+              lo <= r.counters.atomics == actual <= hi)
+
+    # --- (c) static vs dynamic scheduling --------------------------------------------
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    sched_times = {}
+    for schedule in ("static", "dynamic"):
+        m = config.scaled_machine()
+        rt = SMRuntime(g, P=config.P, machine=m,
+                       memory=CountingMemory(m.hierarchy), schedule=schedule)
+        sched_times[schedule] = pagerank(g, rt, direction="pull",
+                                         iterations=2).time
+    res.rows.append({"ablation": "PR pull scheduling (orc)", **sched_times})
+    res.check("static and dynamic schedules agree within 2x "
+              "(the simulator balances blocks; skew is mild at this scale)",
+              0.5 < sched_times["dynamic"] / sched_times["static"] < 2.0)
+
+    # --- (d) SpMSpV frontier sparsity -------------------------------------------------
+    g = load_dataset("am", scale=min(config.scale, 11), seed=config.seed)
+    csr, csc = adjacency_matrices(g)
+    rng = np.random.default_rng(config.seed)
+    rows = []
+    csc_wins_small = None
+    for frac in (0.01, 0.1, 0.5):
+        k = max(1, int(frac * g.n))
+        idx = np.sort(rng.choice(g.n, size=k, replace=False))
+        ones = np.ones(k)
+        _, _, ops_csr = spmspv_csr(csr, idx, ones, OR_AND)
+        _, _, ops_csc = spmspv_csc(csc, idx, ones, OR_AND)
+        rows.append({"ablation": f"SpMSpV frontier {frac:.0%}",
+                     "CSR rows touched": ops_csr.rows_touched,
+                     "CSC cols touched": ops_csc.rows_touched,
+                     "CSR mults": ops_csr.multiplies,
+                     "CSC mults": ops_csc.multiplies})
+        if csc_wins_small is None:
+            csc_wins_small = ops_csc.rows_touched < ops_csr.rows_touched / 10
+    res.rows.extend(rows)
+    res.check("CSC (push) SpMSpV touches only the frontier's columns; "
+              "CSR (pull) must sweep all rows (Section 7.1)",
+              bool(csc_wins_small))
+
+    # --- (f) hyper-threading (Section 6.5) -----------------------------------------------
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    cores = config.machine.cores
+    ht = {}
+    for d in ("push", "pull"):
+        for P in (cores, 2 * cores):
+            m = config.scaled_machine()
+            rt = SMRuntime(g, P=P, machine=m,
+                           memory=CountingMemory(m.hierarchy))
+            ht[(d, P)] = pagerank(g, rt, direction=d, iterations=2).time
+        res.rows.append({"ablation": f"PR {d} HT", f"T={cores}": ht[(d, cores)],
+                         f"T={2 * cores}": ht[(d, 2 * cores)],
+                         "HT speedup": round(ht[(d, cores)]
+                                             / ht[(d, 2 * cores)], 2)})
+    res.check("HT accelerates each scheme, maintaining the relative "
+              "differences (Section 6.5)",
+              all(1.0 < ht[(d, cores)] / ht[(d, 2 * cores)] <= 2.0
+                  for d in ("push", "pull"))
+              and (ht[("pull", cores)] < ht[("push", cores)])
+              == (ht[("pull", 2 * cores)] < ht[("push", 2 * cores)]))
+
+    # --- (e) batched-atomic discount knob ----------------------------------------------
+    g = load_dataset("orc", scale=config.scale, seed=config.seed)
+    knob_rows = {}
+    for factor in (1.0, 0.5):
+        m = config.scaled_machine().with_(atomic_batch_factor=factor)
+        rt = SMRuntime(g, P=config.P, machine=m,
+                       memory=CountingMemory(m.hierarchy))
+        pa_t = pagerank(g, rt, direction="push-pa", iterations=2)
+        rt = SMRuntime(g, P=config.P, machine=m,
+                       memory=CountingMemory(m.hierarchy))
+        pull_t = pagerank(g, rt, direction="pull", iterations=2)
+        knob_rows[factor] = (pa_t.time, pull_t.time)
+        res.rows.append({"ablation": f"PA batch factor {factor}",
+                         "PA": pa_t.time, "pull": pull_t.time})
+    res.check("the PA-beats-pull result on dense graphs depends on the "
+              "batched-atomic discount (an honest model sensitivity)",
+              knob_rows[0.5][0] < knob_rows[0.5][1]
+              and knob_rows[1.0][0] > knob_rows[0.5][0])
+    return res

@@ -1,0 +1,71 @@
+"""Figure 3: distributed-memory strong scaling of PR and TC.
+
+Paper shapes (Section 6.3): for PR, Message Passing beats RMA by >10x
+and RMA-push is the slowest; for TC, RMA beats MP and pull is at least
+as fast as push.  All variants should strong-scale (time falls as P
+grows).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.algorithms.dm_triangle import dm_triangle_count
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.runtime.dm import DMRuntime
+
+P_SWEEP = (2, 4, 8, 16, 32)
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Figure 3", "DM strong scaling (mtu): PR and TC, MP vs RMA push/pull")
+    machine = config.scaled_machine()
+
+    # --- PageRank on the rmat graph ----------------------------------------------
+    g = load_dataset("rmat", scale=config.scale, seed=config.seed)
+    pr = {}
+    for variant in ("mp", "rma-push", "rma-pull"):
+        times = []
+        for P in P_SWEEP:
+            rt = DMRuntime(g.n, P=P, machine=machine)
+            r = dm_pagerank(g, rt, variant=variant,
+                            iterations=config.pr_iterations)
+            times.append(r.time)
+        pr[variant] = times
+        res.series[f"PR rmat {variant}"] = [round(t, 0) for t in times]
+        res.rows.append({"algo": "PR", "variant": variant,
+                         **{f"P={P}": t for P, t in zip(P_SWEEP, times)}})
+
+    # --- Triangle Counting on the rmat graph (smaller scale: O(m·d̂)) -----------
+    g_tc = load_dataset("rmat", scale=min(config.scale_tc, 10),
+                        seed=config.seed)
+    tc = {}
+    for variant in ("mp", "rma-push", "rma-pull"):
+        times = []
+        for P in P_SWEEP:
+            rt = DMRuntime(g_tc.n, P=P, machine=machine)
+            r = dm_triangle_count(g_tc, rt, variant=variant)
+            times.append(r.time)
+        tc[variant] = times
+        res.series[f"TC rmat {variant}"] = [round(t, 0) for t in times]
+        res.rows.append({"algo": "TC", "variant": variant,
+                         **{f"P={P}": t for P, t in zip(P_SWEEP, times)}})
+
+    res.check("PR: MP consistently outperforms both RMA variants (>10x)",
+              all(pr["mp"][i] * 10 < min(pr["rma-push"][i], pr["rma-pull"][i])
+                  for i in range(len(P_SWEEP))))
+    res.check("PR: RMA pushing is the slowest variant",
+              all(pr["rma-push"][i] >= max(pr["mp"][i], pr["rma-pull"][i])
+                  for i in range(len(P_SWEEP))))
+    res.check("TC: RMA variants always outperform MP",
+              all(max(tc["rma-push"][i], tc["rma-pull"][i]) < tc["mp"][i]
+                  for i in range(len(P_SWEEP))))
+    res.check("TC: pulling is at least as fast as pushing",
+              all(tc["rma-pull"][i] <= tc["rma-push"][i]
+                  for i in range(len(P_SWEEP))))
+    res.check("strong scaling: every variant is faster at P=32 than P=2",
+              all(series[-1] < series[0]
+                  for series in list(pr.values()) + list(tc.values())))
+    return res

@@ -1,0 +1,61 @@
+"""Figure 4: MST phase times (Find-Minimum, Build-Merge-Tree, Merge).
+
+Paper shapes: push is faster in BMT (it stored the partner flag during
+FM), comparable in Merge, and slower in the dominant FM phase -- so
+pull wins overall (~20% at T=4).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.mst_boruvka import boruvka_mst
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+
+T_SWEEP = (4, 8, 16)
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Figure 4", "Borůvka MST phase times (mtu) on the orc stand-in")
+    g = load_dataset("orc", scale=config.scale, seed=config.seed,
+                     weighted=True)
+    results = {}
+    for T in T_SWEEP:
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g, P=T)
+            r = boruvka_mst(g, rt, direction=d)
+            results[(T, d)] = r
+            res.rows.append({
+                "T": T, "dir": d,
+                "FM": sum(r.phase_times["FM"]),
+                "BMT": sum(r.phase_times["BMT"]),
+                "M": sum(r.phase_times["M"]),
+                "total": r.time,
+                "iters": r.iterations,
+            })
+    for d in ("push", "pull"):
+        res.series[f"FM/{d} per-iter (T=16)"] = [
+            round(t, 0) for t in results[(16, d)].phase_times["FM"]]
+
+    def phase(T, d, name):
+        return sum(results[(T, d)].phase_times[name])
+
+    res.check("push is slower in the dominant Find-Minimum phase",
+              all(phase(T, "push", "FM") > phase(T, "pull", "FM")
+                  for T in T_SWEEP))
+    res.check("push is faster (or equal) in Build-Merge-Tree",
+              all(phase(T, "push", "BMT") <= phase(T, "pull", "BMT")
+                  for T in T_SWEEP))
+    res.check("Merge phase is comparable (within 10%)",
+              all(abs(phase(T, "push", "M") - phase(T, "pull", "M"))
+                  <= 0.1 * max(phase(T, "push", "M"), phase(T, "pull", "M"))
+                  for T in T_SWEEP))
+    res.check("pull wins overall (paper: ~20% at T=4)",
+              all(results[(T, "pull")].time < results[(T, "push")].time
+                  for T in T_SWEEP),
+              f"T=4 push/pull = "
+              f"{results[(4, 'push')].time / results[(4, 'pull')].time:.2f}")
+    res.check("FM strong-scales with threads (pull, T=4 -> T=16)",
+              phase(16, "pull", "FM") < phase(4, "pull", "FM"))
+    return res

@@ -1,0 +1,52 @@
+"""Figure 5: BC scalability -- forward/backward sweep times and totals.
+
+Paper shape: "pushing is slower than pulling because of the higher
+amount of expensive write conflicts that entail more synchronization in
+both BC parts"; both variants scale with threads.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+
+T_SWEEP = (4, 8, 16)
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Figure 5", "Betweenness Centrality scalability (mtu, sampled sources)")
+    g = load_dataset("orc", scale=config.scale_bc, seed=config.seed)
+    results = {}
+    for T in T_SWEEP:
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g, P=T)
+            r = betweenness_centrality(g, rt, direction=d,
+                                       sources=config.bc_sources,
+                                       seed=config.seed)
+            results[(T, d)] = r
+            res.rows.append({
+                "T": T, "dir": d,
+                "forward": r.forward_time,
+                "backward": r.backward_time,
+                "total": r.time,
+                "locks": r.counters.locks,
+                "atomics": r.counters.atomics,
+            })
+
+    res.check("pull beats push at every thread count (both BC parts)",
+              all(results[(T, "pull")].time < results[(T, "push")].time
+                  and results[(T, "pull")].forward_time
+                  < results[(T, "push")].forward_time
+                  and results[(T, "pull")].backward_time
+                  < results[(T, "push")].backward_time
+                  for T in T_SWEEP))
+    res.check("push pays float locks in both sweeps; pull none",
+              results[(16, "push")].counters.locks > 0
+              and results[(16, "pull")].counters.locks == 0)
+    res.check("both variants strong-scale from T=4 to T=16",
+              all(results[(16, d)].time < results[(4, d)].time
+                  for d in ("push", "pull")))
+    return res

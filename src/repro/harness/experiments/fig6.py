@@ -1,0 +1,81 @@
+"""Figure 6: acceleration-strategy analysis.
+
+(a) PR push vs push+PA time per iteration (paper: PA wins ~24% on the
+dense graphs, but is the *slowest* variant on sparse rca/am);
+(b) BGC iterations to finish for Push / +FE / +GS / +GrS (paper: FE
+inflates iterations on the dense orc/ljn and shrinks them on am/rca;
+the switching strategies bring the count back down).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.coloring import boman_coloring
+from repro.algorithms.pagerank import pagerank
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.strategies.frontier_exploit import frontier_exploit_coloring
+
+GRAPHS = ("orc", "pok", "ljn", "am", "rca")
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Figure 6", "Strategies: PR push vs +PA (mtu/iter); BGC iteration counts")
+
+    # --- (a) PR +PA --------------------------------------------------------------
+    pr = {}
+    for name in GRAPHS:
+        g = load_dataset(name, scale=config.scale, seed=config.seed)
+        for d in ("push", "push-pa", "pull"):
+            rt = config.sm_runtime(g)
+            r = pagerank(g, rt, direction=d, iterations=config.pr_iterations)
+            pr[(name, d)] = r.time / r.iterations
+    for d in ("push", "push-pa", "pull"):
+        res.rows.append({"metric": f"PR {d} [mtu/iter]",
+                         **{n: pr[(n, d)] for n in GRAPHS}})
+
+    # --- (b) BGC iterations ---------------------------------------------------------
+    it = {}
+    for name in GRAPHS:
+        g = load_dataset(name, scale=config.scale, seed=config.seed)
+        rt = config.sm_runtime(g)
+        it[(name, "push")] = boman_coloring(
+            g, rt, direction="push", max_colors=config.max_colors).iterations
+        for label, kw in (("+FE", {}),
+                          ("+GS", {"generic_switch": True}),
+                          ("+GrS", {"greedy_switch": True})):
+            rt = config.sm_runtime(g)
+            it[(name, label)] = frontier_exploit_coloring(g, rt, **kw).iterations
+    for variant in ("push", "+FE", "+GS", "+GrS"):
+        res.rows.append({"metric": f"BGC iters {variant}",
+                         **{n: it[(n, variant)] for n in GRAPHS}})
+
+    dense = ("orc", "pok", "ljn")
+    sparse = ("am", "rca")
+    res.check("PA beats plain push on the dense graphs (paper: ~24%)",
+              all(pr[(n, "push-pa")] < pr[(n, "push")] for n in dense),
+              f"orc push/PA = {pr[('orc', 'push')] / pr[('orc', 'push-pa')]:.2f}")
+    res.check("PA beats even pulling on the dense graphs",
+              all(pr[(n, "push-pa")] < pr[(n, "pull")] for n in dense))
+    res.check("PA is slower than pulling on the road network "
+              "(the two-phase overhead is no longer compensated)",
+              pr[("rca", "push-pa")] > pr[("rca", "pull")],
+              f"rca PA/pull = {pr[('rca', 'push-pa')] / pr[('rca', 'pull')]:.2f}")
+    res.notes.append(
+        "The paper also finds PA slower than pull on am; our am stand-in's "
+        "preferential-attachment hubs give PA's segregated remote phase "
+        "more credit than the real Amazon graph does, so the PA penalty "
+        "only reproduces on the road network.")
+    res.check("FE inflates the iteration count on the dense community graphs "
+              "(paper: orc 49 -> 173)",
+              it[("orc", "+FE")] > 1.5 * it[("orc", "push")],
+              f"orc: push {it[('orc', 'push')]} vs FE {it[('orc', '+FE')]}")
+    res.check("FE's iteration count on the sparse graphs is a small "
+              "fraction of its dense-graph count (paper: 10/5 vs 173/334)",
+              all(it[(n, "+FE")] < 0.25 * it[("orc", "+FE")] for n in sparse),
+              f"FE iters: orc {it[('orc', '+FE')]}, am {it[('am', '+FE')]}, "
+              f"rca {it[('rca', '+FE')]}")
+    res.check("GrS needs no more iterations than plain FE everywhere",
+              all(it[(n, "+GrS")] <= it[(n, "+FE")] for n in GRAPHS))
+    return res

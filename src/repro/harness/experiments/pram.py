@@ -1,0 +1,85 @@
+"""Section 4's analytic cost table: push vs pull PRAM costs per algorithm.
+
+Regenerates the complexity discussion as numbers: for a representative
+(n, m, d̂, P, D, ...) point, the time/work/conflict/atomic counts of
+every algorithm in both directions under CRCW-CB and CREW, with the
+paper's qualitative conclusions asserted (Section 4.9).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.pram.costs import (
+    bc_cost, bfs_cost, boman_coloring_cost, boruvka_cost, pagerank_cost,
+    sssp_delta_cost, triangle_count_cost,
+)
+from repro.pram.models import PRAM, limit_processors, simulate_crcw_on_weaker
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    n = 1 << config.scale
+    m = 16 * n
+    d_hat = 4 * int(math.sqrt(n))
+    P = 1 << 10
+    D, L = 12, 20
+    res = ExperimentResult(
+        "Section 4", f"PRAM costs at n={n}, m={m}, d̂={d_hat}, P={P}, D={D}")
+
+    cases = []
+    for model in (PRAM.CRCW_CB, PRAM.CREW):
+        for direction in ("push", "pull"):
+            cases.extend([
+                pagerank_cost(direction, model, n, m, d_hat, P, L),
+                triangle_count_cost(direction, model, n, m, d_hat, P),
+                bfs_cost(direction, model, n, m, d_hat, P, D),
+                sssp_delta_cost(direction, model, n, m, d_hat, P, 8.0, 3.0),
+                bc_cost(direction, model, n, m, d_hat, P, D, sources=64),
+                boman_coloring_cost(direction, model, n, m, d_hat, P, L),
+                boruvka_cost(direction, model, n, m, d_hat, P),
+            ])
+    res.rows = [c.as_row() for c in cases]
+    by = {(c.algorithm, c.direction, c.model): c for c in cases}
+
+    log_d = max(1.0, math.log2(d_hat))
+    res.check("PR/TC: pulling beats pushing by a log(d̂) factor on CREW "
+              "(Section 4.9 'Complexity')",
+              abs(by[("PR", "push", PRAM.CREW)].time
+                  / by[("PR", "pull", PRAM.CREW)].time - log_d) < 0.1
+              and by[("TC", "push", PRAM.CREW)].work
+              > by[("TC", "pull", PRAM.CREW)].work)
+    res.check("BFS: pulling needs more time and work than pushing "
+              "(O(Dm) vs O(m) work)",
+              by[("BFS", "pull", PRAM.CRCW_CB)].work
+              > by[("BFS", "push", PRAM.CRCW_CB)].work
+              and by[("BFS", "pull", PRAM.CRCW_CB)].time
+              > by[("BFS", "push", PRAM.CRCW_CB)].time)
+    res.check("SSSP-Δ: pushing achieves a smaller cost "
+              "(edges relaxed in only one of L/Δ epochs)",
+              by[("SSSP-Δ", "push", PRAM.CRCW_CB)].work
+              < by[("SSSP-Δ", "pull", PRAM.CRCW_CB)].work)
+    res.check("pulling removes atomics/locks completely in "
+              "TC, PR, BFS, SSSP-Δ, MST (Section 4.9)",
+              all(by[(a, "pull", PRAM.CRCW_CB)].atomics == 0
+                  and by[(a, "pull", PRAM.CRCW_CB)].locks == 0
+                  for a in ("TC", "PR", "BFS", "SSSP-Δ", "MST")))
+    res.check("pushing entails write conflicts in every algorithm; "
+              "pulling entails read conflicts",
+              all(by[(a, "push", PRAM.CRCW_CB)].write_conflicts > 0
+                  and by[(a, "pull", PRAM.CRCW_CB)].read_conflicts > 0
+                  for a in ("PR", "TC", "BFS", "SSSP-Δ", "BGC", "MST")))
+    res.check("BC: push conflicts are on floats (locks), pull's on "
+              "integers (atomics) -- the type changes, not the presence",
+              by[("BC", "push", PRAM.CRCW_CB)].locks > 0
+              and by[("BC", "pull", PRAM.CRCW_CB)].locks == 0
+              and by[("BC", "pull", PRAM.CRCW_CB)].atomics > 0)
+
+    # simulation lemmas (Section 2.1)
+    t = by[("PR", "push", PRAM.CRCW_CB)].time
+    res.check("CRCW -> CREW simulation costs a Θ(log P) slowdown",
+              abs(simulate_crcw_on_weaker(t, P) / t - math.log2(P)) < 1e-9)
+    res.check("LP lemma: halving processors at most doubles (ceil) time",
+              limit_processors(t, P, P // 2) <= 2 * t + 1)
+    return res

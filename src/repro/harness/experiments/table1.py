@@ -1,0 +1,119 @@
+"""Table 1: the hardware-counter study, regenerated on the trace-driven
+cache simulator.
+
+For each (algorithm, graph, direction) cell the paper reports L1/L2/L3
+misses, TLB misses, atomics, locks, reads, writes, and branches.  We
+re-measure the same events with :class:`CacheSimMemory` (exact
+set-associative simulation over the synthetic address space) at a
+reduced scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.coloring import boman_coloring
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.algorithms.triangle import triangle_count
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.machine.counters import format_count
+
+_EVENTS = ("l1_misses", "l2_misses", "l3_misses", "tlb_d_misses",
+           "atomics", "locks", "reads", "writes",
+           "branches_uncond", "branches_cond")
+
+
+def _row(label: str, counters) -> dict:
+    d = counters.to_dict()
+    return {"config": label, **{e: format_count(d[e]) for e in _EVENTS}}
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    # trace simulation is expensive: run three scales below default, and
+    # shrink the simulated caches by the same factor so the graphs stay in
+    # the paper's out-of-cache regime
+    scale = max(9, config.scale - 3)
+    scale_tc = max(8, config.scale_tc - 2)
+    config = config.with_(cache_scale=config.cache_scale
+                          * (1 << (config.scale - scale)))
+    res = ExperimentResult(
+        "Table 1",
+        f"Hardware-counter events (trace-driven cache sim, scale={scale})")
+    raw = {}
+
+    # --- PageRank: orc / rca, push / push+PA / pull -------------------------
+    for name in ("orc", "rca"):
+        g = load_dataset(name, scale=scale, seed=config.seed)
+        for d in ("push", "push-pa", "pull"):
+            rt = config.sm_runtime(g, trace=True)
+            r = pagerank(g, rt, direction=d, iterations=2)
+            raw[("PR", name, d)] = r.counters
+            res.rows.append(_row(f"PR {name} {d}", r.counters))
+
+    # --- Triangle Counting: ljn / rca, push / pull --------------------------
+    for name in ("ljn", "rca"):
+        g = load_dataset(name, scale=scale_tc, seed=config.seed)
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g, trace=True)
+            r = triangle_count(g, rt, direction=d)
+            raw[("TC", name, d)] = r.counters
+            res.rows.append(_row(f"TC {name} {d}", r.counters))
+
+    # --- Boman coloring: orc / rca, push / pull ------------------------------
+    # The paper's BGC rows are averages *per iteration*; after iteration 1
+    # the two directions recolor different vertices and their trajectories
+    # diverge, so the comparable unit is a single iteration.
+    for name in ("orc", "rca"):
+        g = load_dataset(name, scale=scale, seed=config.seed)
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g, trace=True)
+            r = boman_coloring(g, rt, direction=d,
+                               max_colors=config.max_colors,
+                               max_iterations=1)
+            raw[("BGC", name, d)] = r.counters
+            res.rows.append(_row(f"BGC {name} {d} (iter 1)", r.counters))
+
+    # --- SSSP-Δ: pok / rca, push / pull ---------------------------------------
+    for name in ("pok", "rca"):
+        g = load_dataset(name, scale=scale, seed=config.seed, weighted=True)
+        src = int(np.argmax(np.diff(g.offsets)))
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g, trace=True)
+            r = sssp_delta(g, rt, src, direction=d)
+            raw[("SSSP", name, d)] = r.counters
+            res.rows.append(_row(f"SSSP-Δ {name} {d}", r.counters))
+
+    # --- the paper's headline counter asymmetries ------------------------------
+    res.check("PR: pulling issues zero atomics; pushing ~2m per iteration",
+              raw[("PR", "orc", "pull")].atomics == 0
+              and raw[("PR", "orc", "push")].atomics > 0)
+    res.check("PR: push+PA issues fewer atomics than plain push (paper: -7%)",
+              0 < raw[("PR", "orc", "push-pa")].atomics
+              < raw[("PR", "orc", "push")].atomics)
+    res.check("TC: pushing uses FAA atomics, pulling none",
+              raw[("TC", "ljn", "push")].faa > 0
+              and raw[("TC", "ljn", "pull")].atomics == 0)
+    res.check("BGC: both directions acquire the same number of locks",
+              raw[("BGC", "orc", "push")].locks
+              == raw[("BGC", "orc", "pull")].locks)
+    res.check("BGC: pushing issues fewer reads than pulling",
+              raw[("BGC", "orc", "push")].reads
+              < raw[("BGC", "orc", "pull")].reads)
+    res.check("SSSP-Δ: pulling reads orders of magnitude more than pushing "
+              "on the road network (paper: 454M vs 42k)",
+              raw[("SSSP", "rca", "pull")].reads
+              > 20 * raw[("SSSP", "rca", "push")].reads)
+    res.check("SSSP-Δ: pulling acquires far more locks than pushing",
+              raw[("SSSP", "pok", "pull")].locks
+              > 3 * raw[("SSSP", "pok", "push")].locks)
+    res.check("PR: pulling has more L3 misses than pushing on orc "
+              "(paper: 181M vs 64.75M)",
+              raw[("PR", "orc", "pull")].l3_misses
+              > raw[("PR", "orc", "push")].l3_misses)
+    res.notes.append(
+        "Counts are totals at the reduced scale; compare ratios, not "
+        "magnitudes, against the paper's Table 1.")
+    return res

@@ -1,0 +1,62 @@
+"""Table 3: PR time/iteration and TC total time, push vs pull, 5 graphs.
+
+Paper shape: "In graphs with both high d̄ (orc, ljn, pok) and low d̄
+(rca, am), pulling outperforms pushing by ≈3% and ≈19% respectively"
+(PR); "pulling always outperforms pushing" (TC).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.triangle import triangle_count
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+
+GRAPHS = ("orc", "pok", "ljn", "am", "rca")
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Table 3",
+        "PageRank time/iteration and Triangle Counting total time (mtu)",
+    )
+    pr = {}
+    tc = {}
+    for name in GRAPHS:
+        g = load_dataset(name, scale=config.scale, seed=config.seed)
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g)
+            r = pagerank(g, rt, direction=d, iterations=config.pr_iterations)
+            pr[(name, d)] = r.time / r.iterations
+        g_tc = load_dataset(name, scale=config.scale_tc, seed=config.seed)
+        for d in ("push", "pull"):
+            rt = config.sm_runtime(g_tc)
+            tc[(name, d)] = triangle_count(g_tc, rt, direction=d).time
+    for d in ("push", "pull"):
+        res.rows.append(
+            {"metric": f"PR {d} [mtu/iter]", **{n: pr[(n, d)] for n in GRAPHS}})
+    for d in ("push", "pull"):
+        res.rows.append(
+            {"metric": f"TC {d} [mtu]", **{n: tc[(n, d)] for n in GRAPHS}})
+
+    res.check("PR: pulling outperforms pushing on every graph",
+              all(pr[(n, "pull")] < pr[(n, "push")] for n in GRAPHS))
+    dense_margin = pr[("orc", "push")] / pr[("orc", "pull")]
+    sparse_margin = pr[("rca", "push")] / pr[("rca", "pull")]
+    res.check("PR: the pull margin is larger on sparse graphs than dense",
+              sparse_margin > dense_margin,
+              f"orc push/pull={dense_margin:.2f}, rca={sparse_margin:.2f} "
+              f"(paper: 1.03 vs 1.19)")
+    res.check("TC: pulling outperforms (or ties) pushing on every graph",
+              all(tc[(n, "pull")] <= tc[(n, "push")] * 1.001 for n in GRAPHS))
+    res.check("TC: the push/pull gap grows with triangle density "
+              "(orc gap > rca gap)",
+              tc[("orc", "push")] / tc[("orc", "pull")]
+              >= tc[("rca", "push")] / tc[("rca", "pull")])
+    res.notes.append(
+        "Absolute numbers are model time units; the paper reports ms on a "
+        "Cray XC30.  Our dense-graph pull margins are wider than the "
+        "paper's 3-4% because the scaled-down stand-ins lack the extreme "
+        "hubs whose read traffic dilutes atomic costs at full scale.")
+    return res

@@ -1,0 +1,61 @@
+"""Table 4: PR time per iteration across machines.
+
+Paper shape: "Results vary most in denser graphs (orc, pok, ljn); for
+example pushing outperforms pulling on Trivium while the opposite is
+true on Dora.  Contrarily, the results are similar for rca and am" --
+i.e. the dense-graph winner is machine-dependent, the sparse-graph
+winner (pull) is stable.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.pagerank import pagerank
+from repro.generators.registry import load_dataset
+from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.tables import ExperimentResult
+from repro.machine.cost_model import TRIVIUM, XC30, XC40
+
+GRAPHS = ("orc", "pok", "ljn", "am", "rca")
+MACHS = (TRIVIUM, XC30, XC40)
+
+
+def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
+    res = ExperimentResult(
+        "Table 4", "PR time per iteration (mtu) across machine models")
+    t = {}
+    for mach in MACHS:
+        # Trivium runs T=8 (4 cores x HT), the Crays T=16+ (paper setup)
+        P = min(config.P, mach.max_threads)
+        for d in ("push", "pull", "push-pa"):
+            row = {"machine": mach.name, "variant": d}
+            for name in GRAPHS:
+                g = load_dataset(name, scale=config.scale, seed=config.seed)
+                rt = config.sm_runtime(g, base=mach, P=P)
+                r = pagerank(g, rt, direction=d,
+                             iterations=config.pr_iterations)
+                t[(mach.name, name, d)] = r.time / r.iterations
+                row[name] = t[(mach.name, name, d)]
+            res.rows.append(row)
+
+    res.check("Trivium: pushing outperforms pulling on the dense orc",
+              t[("Trivium", "orc", "push")] < t[("Trivium", "orc", "pull")])
+    res.check("XC30/XC40: pulling outperforms pushing on orc "
+              "(the dense-graph winner flips with the machine)",
+              t[("XC30", "orc", "pull")] < t[("XC30", "orc", "push")]
+              and t[("XC40", "orc", "pull")] < t[("XC40", "orc", "push")])
+    res.check("on the Cray machines the sparse-graph winner (pull) is stable",
+              all(t[(m, n, "pull")] < t[(m, n, "push")]
+                  for m in ("XC30", "XC40") for n in ("am", "rca")))
+    res.check("pull beats push+PA on rca on every machine "
+              "(the only Trivium sparse comparison Table 4 reports)",
+              all(t[(m.name, "rca", "pull")] < t[(m.name, "rca", "push-pa")]
+                  for m in MACHS))
+    res.check("push+PA is the fastest dense-graph variant on the Crays "
+              "(paper Table 4: 378 < 456 < 499 on XC40 orc)",
+              all(t[(m, "orc", "push-pa")]
+                  < min(t[(m, "orc", "push")], t[(m, "orc", "pull")])
+                  for m in ("XC30", "XC40")))
+    res.check("push+PA is not the winner on rca on any machine",
+              all(t[(m.name, "rca", "push-pa")] > t[(m.name, "rca", "pull")]
+                  for m in MACHS))
+    return res

@@ -1,0 +1,99 @@
+"""Run every experiment and print (or save) the full report.
+
+Usage::
+
+    python -m repro.harness.run_all [--quick] [--markdown out.md] [ids...]
+
+Experiment ids are the module names in
+:mod:`repro.harness.experiments` (``table1``..``table4``, ``fig1``..
+``fig6``, ``pram``, ``ablations``); default is all of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.config import DEFAULT, QUICK
+from repro.harness.experiments import ALL
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("ids", nargs="*", default=[],
+                    help="experiments to run (default: all)")
+    ap.add_argument("--quick", action="store_true",
+                    help="use the small QUICK config")
+    ap.add_argument("--markdown", metavar="FILE",
+                    help="also write a markdown report")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write machine-readable results")
+    args = ap.parse_args(argv)
+
+    config = QUICK if args.quick else DEFAULT
+    ids = args.ids or list(ALL)
+    unknown = [i for i in ids if i not in ALL]
+    if unknown:
+        ap.error(f"unknown experiment ids {unknown}; have {sorted(ALL)}")
+
+    results = []
+    failed = []
+    for exp_id in ids:
+        t0 = time.time()
+        print(f"--- running {exp_id} ...", flush=True)
+        res = ALL[exp_id].run(config)
+        results.append(res)
+        print(res.render())
+        print(f"    ({time.time() - t0:.1f}s wall)\n")
+        if not res.shape_ok:
+            failed.append(exp_id)
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("# Experiment report\n\n")
+            fh.write(f"Config: {config}\n\n")
+            for res in results:
+                fh.write(res.render_markdown())
+                fh.write("\n\n")
+        print(f"markdown report written to {args.markdown}")
+
+    if args.json:
+        import json
+
+        def _plain(v):
+            try:
+                json.dumps(v)
+                return v
+            except TypeError:
+                return str(v)
+
+        payload = [
+            {
+                "experiment": res.experiment_id,
+                "title": res.title,
+                "rows": [{k: _plain(v) for k, v in row.items()}
+                         for row in res.rows],
+                "series": {k: [_plain(p) for p in pts]
+                           for k, pts in res.series.items()},
+                "checks": [{"claim": c.claim, "holds": c.holds,
+                            "detail": c.detail} for c in res.checks],
+                "notes": list(res.notes),
+            }
+            for res in results
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"json results written to {args.json}")
+
+    total = sum(len(r.checks) for r in results)
+    bad = sum(1 for r in results for c in r.checks if not c.holds)
+    print(f"=== {len(results)} experiments, {total} shape checks, "
+          f"{bad} failures ===")
+    if failed:
+        print(f"experiments with failed checks: {failed}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Result containers and plain-text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper and whether we reproduce it."""
+
+    claim: str
+    holds: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "OK " if self.holds else "FAIL"
+        suffix = f"  [{self.detail}]" if self.detail else ""
+        return f"  [{mark}] {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus paper-shape verdicts for one table/figure."""
+
+    experiment_id: str            #: e.g. "Table 3", "Figure 1"
+    title: str
+    rows: list = field(default_factory=list)          #: list[dict]
+    series: dict = field(default_factory=dict)        #: name -> list of points
+    checks: list = field(default_factory=list)        #: list[ShapeCheck]
+    notes: list = field(default_factory=list)
+
+    def check(self, claim: str, holds: bool, detail: str = "") -> bool:
+        self.checks.append(ShapeCheck(claim, bool(holds), detail))
+        return bool(holds)
+
+    @property
+    def shape_ok(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            out.append(render_table(self.rows))
+        for name, pts in self.series.items():
+            out.append(render_series(name, pts))
+        if self.checks:
+            out.append("shape checks vs the paper:")
+            out.extend(c.render() for c in self.checks)
+        for n in self.notes:
+            out.append(f"  note: {n}")
+        return "\n".join(out)
+
+    def render_markdown(self) -> str:
+        out = [f"### {self.experiment_id}: {self.title}", ""]
+        if self.rows:
+            keys = list(self.rows[0].keys())
+            out.append("| " + " | ".join(str(k) for k in keys) + " |")
+            out.append("|" + "---|" * len(keys))
+            for r in self.rows:
+                out.append("| " + " | ".join(_fmt(r.get(k, "")) for k in keys) + " |")
+            out.append("")
+        for name, pts in self.series.items():
+            out.append(f"- series `{name}`: " + ", ".join(_fmt(p) for p in pts))
+        if self.series:
+            out.append("")
+        if self.checks:
+            out.append("Shape checks vs the paper:")
+            for c in self.checks:
+                mark = "x" if c.holds else " "
+                detail = f" — {c.detail}" if c.detail else ""
+                out.append(f"- [{mark}] {c.claim}{detail}")
+            out.append("")
+        for n in self.notes:
+            out.append(f"> {n}")
+        return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_table(rows: list[dict]) -> str:
+    """Align a list of dict rows into a text table."""
+    if not rows:
+        return "(empty)"
+    keys = list(rows[0].keys())
+    cells = [[str(k) for k in keys]] + [[_fmt(r.get(k, "")) for k in keys]
+                                        for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(keys))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: list) -> str:
+    """One-line rendering of a numeric series (a figure's data line),
+    with a sparkline when the points are numeric."""
+    text = f"{name}: " + " ".join(_fmt(p) for p in points)
+    try:
+        from repro.harness.charts import sparkline
+        spark = sparkline([float(p) for p in points], width=24)
+        if spark:
+            text += f"   {spark}"
+    except (TypeError, ValueError):
+        pass
+    return text

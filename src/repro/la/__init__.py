@@ -1,0 +1,30 @@
+"""Linear-algebra formulation of graph algorithms (Section 7.1).
+
+The dichotomy between push and pull variants "is mirrored by the
+dichotomy between the Compressed Sparse Column (CSC) and Compressed
+Sparse Row (CSR) representations of A":
+
+* CSR SpMV computes each output element independently from a row --
+  **pulling** updates (no write conflicts, can't exploit input-vector
+  sparsity);
+* CSC SpMV scatters each input element down a column -- **pushing**
+  updates (write combining needed, but SpMSpV skips zero columns
+  entirely).
+
+The layer implements semirings, both matrix layouts, SpMV/SpMSpV with
+operation counting, and PR/BFS/Bellman-Ford instantiations.
+"""
+
+from repro.la.semiring import Semiring, PLUS_TIMES, MIN_PLUS, OR_AND
+from repro.la.matrix import CSRMatrix, CSCMatrix, adjacency_matrices
+from repro.la.spmv import spmv_csr, spmv_csc, spmspv_csr, spmspv_csc, OpCount
+from repro.la.algorithms import pagerank_la, bfs_la, bellman_ford_la
+from repro.la.bc_la import bc_la, BCLAResult
+
+__all__ = [
+    "Semiring", "PLUS_TIMES", "MIN_PLUS", "OR_AND",
+    "CSRMatrix", "CSCMatrix", "adjacency_matrices",
+    "spmv_csr", "spmv_csc", "spmspv_csr", "spmspv_csc", "OpCount",
+    "pagerank_la", "bfs_la", "bellman_ford_la",
+    "bc_la", "BCLAResult",
+]

@@ -1,0 +1,105 @@
+"""Graph algorithms in algebraic (matrix-vector) form (Section 7.1).
+
+Each algorithm is one SpMV/SpMSpV loop over the right semiring:
+
+* PageRank: dense plus-times SpMV per power iteration (the vector is
+  always dense, so CSR/pull "works extremely well");
+* BFS: or-and SpMSpV of the frontier indicator -- the vector sparsity
+  tracks the frontier, making the CSC/push layout the natural choice
+  for small frontiers;
+* Bellman-Ford SSSP: min-plus SpMV iterated to fixpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.la.matrix import adjacency_matrices
+from repro.la.semiring import MIN_PLUS, OR_AND, PLUS_TIMES
+from repro.la.spmv import (
+    OpCount, spmspv_csc, spmspv_csr, spmv_csc, spmv_csr,
+)
+
+
+def _merge(total: OpCount, part: OpCount) -> None:
+    total.multiplies += part.multiplies
+    total.rows_touched += part.rows_touched
+    total.combines += part.combines
+
+
+def pagerank_la(g: CSRGraph, iterations: int = 20, damping: float = 0.85,
+                layout: str = "csr") -> tuple[np.ndarray, OpCount]:
+    """Algebraic PageRank: r <- (1-f)/n + f * (A D^-1) r."""
+    deg = np.diff(g.offsets).astype(np.float64)
+    inv_deg = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+    # scale each stored entry A(i, j) by 1/d(j): the column degree
+    csr, csc = adjacency_matrices(g)
+    csr_vals = csr.values * inv_deg[csr.indices]       # columns along rows
+    src = np.repeat(np.arange(g.n), np.diff(csc.ptr))
+    csc_vals = csc.values * inv_deg[src]               # per-column scale
+    rank = np.full(g.n, 1.0 / max(g.n, 1))
+    base = (1.0 - damping) / max(g.n, 1)
+    total = OpCount()
+    for _ in range(iterations):
+        if layout == "csr":
+            y, ops = spmv_csr(type(csr)(csr.n, csr.ptr, csr.indices, csr_vals),
+                              rank, PLUS_TIMES)
+        elif layout == "csc":
+            y, ops = spmv_csc(type(csc)(csc.n, csc.ptr, csc.indices, csc_vals),
+                              rank, PLUS_TIMES)
+        else:
+            raise ValueError("layout must be 'csr' or 'csc'")
+        _merge(total, ops)
+        rank = base + damping * y
+    return rank, total
+
+
+def bfs_la(g: CSRGraph, root: int, layout: str = "csc"
+           ) -> tuple[np.ndarray, OpCount]:
+    """Algebraic BFS: levels via or-and SpMSpV of the frontier vector."""
+    csr, csc = adjacency_matrices(g)
+    level = np.full(g.n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    total = OpCount()
+    depth = 0
+    while len(frontier):
+        ones = np.ones(len(frontier))
+        if layout == "csc":
+            idx, _, ops = spmspv_csc(csc, frontier, ones, OR_AND)
+        elif layout == "csr":
+            idx, val, ops = spmspv_csr(csr, frontier, ones, OR_AND)
+            idx = idx[np.asarray(val, dtype=bool)]
+        else:
+            raise ValueError("layout must be 'csr' or 'csc'")
+        _merge(total, ops)
+        depth += 1
+        fresh = idx[level[idx] < 0]
+        level[fresh] = depth
+        frontier = fresh
+    return level, total
+
+
+def bellman_ford_la(g: CSRGraph, source: int, layout: str = "csr",
+                    max_iterations: int | None = None
+                    ) -> tuple[np.ndarray, OpCount]:
+    """Algebraic SSSP: iterate d <- min(d, A ⊗ d) over min-plus."""
+    csr, csc = adjacency_matrices(g)
+    dist = np.full(g.n, np.inf)
+    dist[source] = 0.0
+    total = OpCount()
+    limit = max_iterations if max_iterations is not None else g.n
+    for _ in range(limit):
+        if layout == "csr":
+            y, ops = spmv_csr(csr, dist, MIN_PLUS)
+        elif layout == "csc":
+            y, ops = spmv_csc(csc, dist, MIN_PLUS)
+        else:
+            raise ValueError("layout must be 'csr' or 'csc'")
+        _merge(total, ops)
+        new = np.minimum(dist, y)
+        if np.array_equal(new, dist):   # inf == inf holds elementwise
+            break
+        dist = new
+    return dist, total

@@ -1,0 +1,69 @@
+"""Semirings for algebraic graph algorithms.
+
+A semiring supplies the (add, multiply) pair the matrix-vector product
+is evaluated over, plus their identities.  The classic instances:
+
+* ``PLUS_TIMES`` -- ordinary arithmetic (PageRank's rank propagation);
+* ``MIN_PLUS``   -- tropical semiring (shortest paths / Bellman-Ford);
+* ``OR_AND``     -- boolean semiring (reachability / BFS frontiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An algebraic semiring with vectorized NumPy operations.
+
+    ``add``/``mul`` are binary ufunc-like callables; ``add_reduce``
+    folds an array with the additive operation; ``zero`` is the
+    additive identity (also the implicit value of vector entries) and
+    ``one`` the multiplicative identity.
+    """
+
+    name: str
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_reduce: Callable[[np.ndarray], float]
+    zero: float
+    one: float
+    #: the ufunc used for scatter-accumulation (``<ufunc>.at``)
+    add_at: Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+
+    def is_zero(self, x: np.ndarray) -> np.ndarray:
+        if np.isnan(self.zero):
+            return np.isnan(x)
+        return x == self.zero
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+
+PLUS_TIMES = Semiring(
+    name="plus-times",
+    add=np.add, mul=np.multiply,
+    add_reduce=lambda a: float(np.add.reduce(a)) if len(a) else 0.0,
+    zero=0.0, one=1.0,
+    add_at=np.add.at,
+)
+
+MIN_PLUS = Semiring(
+    name="min-plus",
+    add=np.minimum, mul=np.add,
+    add_reduce=lambda a: float(np.minimum.reduce(a)) if len(a) else np.inf,
+    zero=np.inf, one=0.0,
+    add_at=np.minimum.at,
+)
+
+OR_AND = Semiring(
+    name="or-and",
+    add=np.logical_or, mul=np.logical_and,
+    add_reduce=lambda a: bool(np.logical_or.reduce(a)) if len(a) else False,
+    zero=0.0, one=1.0,
+    add_at=np.logical_or.at,
+)

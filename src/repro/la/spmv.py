@@ -1,0 +1,107 @@
+"""SpMV and SpMSpV over semirings, with operation counting.
+
+The counts demonstrate Section 7.1's core point: the CSR (pull) product
+must touch every row even when the input vector is sparse, while the
+CSC (push) product "facilitates exploiting the sparsity of the vector
+by simply ignoring columns of A that match up to zeros" -- and,
+conversely, CSC needs combining (the atomics of the push world) while
+CSR rows are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.la.matrix import CSCMatrix, CSRMatrix
+from repro.la.semiring import Semiring
+
+
+@dataclass
+class OpCount:
+    """Work performed by one product."""
+
+    multiplies: int = 0       #: semiring multiplications
+    rows_touched: int = 0     #: rows (CSR) or columns (CSC) visited
+    combines: int = 0         #: scatter-combining writes (CSC only)
+
+
+def spmv_csr(A: CSRMatrix, x: np.ndarray, sr: Semiring
+             ) -> tuple[np.ndarray, OpCount]:
+    """Dense-vector product in the CSR layout (pulling)."""
+    y = np.full(A.n, sr.zero)
+    ops = OpCount()
+    for i in range(A.n):
+        cols, vals = A.row(i)
+        if len(cols) == 0:
+            continue
+        y[i] = sr.add_reduce(sr.mul(vals, x[cols]))
+        ops.multiplies += len(cols)
+        ops.rows_touched += 1
+    return y, ops
+
+
+def spmv_csc(A: CSCMatrix, x: np.ndarray, sr: Semiring
+             ) -> tuple[np.ndarray, OpCount]:
+    """Dense-vector product in the CSC layout (pushing)."""
+    y = np.full(A.n, sr.zero)
+    ops = OpCount()
+    for j in range(A.n):
+        rows, vals = A.col(j)
+        if len(rows) == 0:
+            continue
+        sr.add_at(y, rows, sr.mul(vals, x[j]))
+        ops.multiplies += len(rows)
+        ops.combines += len(rows)
+        ops.rows_touched += 1
+    return y, ops
+
+
+def spmspv_csr(A: CSRMatrix, x_idx: np.ndarray, x_val: np.ndarray,
+               sr: Semiring) -> tuple[np.ndarray, np.ndarray, OpCount]:
+    """Sparse-vector product in CSR (pulling): every row must be scanned.
+
+    Returns (y_idx, y_val, ops).  The input sparsity cannot be
+    exploited -- each row's intersection with the nonzero set still
+    requires visiting the row, which is why frontier-style algorithms
+    prefer CSC/push when the frontier is small.
+    """
+    x_dense = np.full(A.n, sr.zero)
+    x_dense[x_idx] = x_val
+    nonzero = np.zeros(A.n, dtype=bool)
+    nonzero[x_idx] = True
+    ops = OpCount()
+    out_idx, out_val = [], []
+    for i in range(A.n):
+        cols, vals = A.row(i)
+        ops.rows_touched += 1      # <- unavoidable full-row sweep
+        if len(cols) == 0:
+            continue
+        hit = nonzero[cols]
+        k = int(hit.sum())
+        if k == 0:
+            continue
+        ops.multiplies += k
+        out_idx.append(i)
+        out_val.append(sr.add_reduce(sr.mul(vals[hit], x_dense[cols[hit]])))
+    return (np.asarray(out_idx, dtype=np.int64), np.asarray(out_val), ops)
+
+
+def spmspv_csc(A: CSCMatrix, x_idx: np.ndarray, x_val: np.ndarray,
+               sr: Semiring) -> tuple[np.ndarray, np.ndarray, OpCount]:
+    """Sparse-vector product in CSC (pushing): zero columns are skipped."""
+    y = np.full(A.n, sr.zero)
+    touched = np.zeros(A.n, dtype=bool)
+    ops = OpCount()
+    for j, xv in zip(np.asarray(x_idx), np.asarray(x_val)):
+        rows, vals = A.col(int(j))
+        ops.rows_touched += 1      # <- only the nonzero columns
+        if len(rows) == 0:
+            continue
+        sr.add_at(y, rows, sr.mul(vals, xv))
+        touched[rows] = True
+        ops.multiplies += len(rows)
+        ops.combines += len(rows)
+    out_idx = np.flatnonzero(touched)
+    return out_idx, y[out_idx], ops

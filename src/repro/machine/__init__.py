@@ -1,0 +1,47 @@
+"""Machine-simulation substrate.
+
+This package replaces the paper's physical machines and PAPI hardware
+counters with a deterministic software model:
+
+* :mod:`repro.machine.counters` -- the event taxonomy of Table 1 of the
+  paper (reads, writes, atomics, locks, branches, cache/TLB misses, and
+  the distributed-memory traffic events of Section 6.3).
+* :mod:`repro.machine.cache` -- a trace-driven set-associative cache and
+  TLB simulator (L1/L2/L3 + data TLB) fed with the actual addresses the
+  instrumented algorithms touch.
+* :mod:`repro.machine.memory` -- the instrumented-memory layer through
+  which every algorithm reports its accesses; it exists in a cheap
+  counting flavour and a cache-simulating flavour.
+* :mod:`repro.machine.cost_model` -- per-machine cost weights
+  (``XC30``, ``XC40``, ``TRIVIUM``...) converting event counts into
+  simulated time (model time units).
+"""
+
+from repro.machine.counters import PerfCounters
+from repro.machine.cache import CacheSim, CacheLevelSpec, TLBSpec, CacheHierarchySpec
+from repro.machine.memory import (
+    ArrayHandle,
+    MemoryModel,
+    CountingMemory,
+    CacheSimMemory,
+)
+from repro.machine.cost_model import MachineSpec, XC30, XC40, XC40_STAR, XC50, TRIVIUM, MACHINES
+
+__all__ = [
+    "PerfCounters",
+    "CacheSim",
+    "CacheLevelSpec",
+    "TLBSpec",
+    "CacheHierarchySpec",
+    "ArrayHandle",
+    "MemoryModel",
+    "CountingMemory",
+    "CacheSimMemory",
+    "MachineSpec",
+    "XC30",
+    "XC40",
+    "XC40_STAR",
+    "XC50",
+    "TRIVIUM",
+    "MACHINES",
+]

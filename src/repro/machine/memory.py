@@ -1,0 +1,310 @@
+"""Instrumented-memory layer.
+
+Every algorithm in :mod:`repro.algorithms` manipulates plain NumPy
+arrays for its actual state, and *reports* each access to a
+:class:`MemoryModel`.  Two implementations exist:
+
+* :class:`CountingMemory` -- increments event counters and estimates
+  cache/TLB misses with a cheap analytic locality model.  Used for
+  parameter sweeps and scaling studies where trace simulation would be
+  too slow.
+* :class:`CacheSimMemory` -- additionally drives the trace-driven
+  :class:`repro.machine.cache.CacheSim` with real (synthetic-address-
+  space) addresses.  Used to regenerate the Table-1 hardware-counter
+  study.
+
+Accesses carry an access-pattern annotation: ``seq`` for streaming
+scans of contiguous data (adjacency arrays, owned vertex ranges) and
+``rand`` for data-dependent indexed access (neighbor state lookups).
+The distinction is what separates push from pull in the paper's cache
+data, so the analytic model keys off it.
+
+Counter ownership: the shared-memory runtime gives each simulated
+thread its own :class:`~repro.machine.counters.PerfCounters` and points
+the memory model at the counters of whichever thread is currently
+executing (:meth:`MemoryModel.set_counters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cache import CacheHierarchySpec, CacheSim
+from repro.machine.counters import PerfCounters
+
+_PAGE = 4096
+
+
+@dataclass
+class ArrayHandle:
+    """A registered array living in the synthetic address space."""
+
+    name: str
+    base: int           #: synthetic base byte-address (page aligned)
+    itemsize: int
+    size: int           #: number of items
+
+    @property
+    def nbytes(self) -> int:
+        return self.itemsize * self.size
+
+    def addr(self, idx) -> np.ndarray:
+        """Byte addresses for item indices (scalar or array)."""
+        return self.base + np.asarray(idx, dtype=np.int64) * self.itemsize
+
+
+def _count(idx, count) -> int:
+    """Number of items referenced by an (idx, count) access descriptor."""
+    if count is not None:
+        return int(count)
+    if idx is None:
+        return 1
+    if np.isscalar(idx):
+        return 1
+    return int(np.asarray(idx).size)
+
+
+class MemoryModel:
+    """Base instrumented memory: registration, counters, branch/flop events.
+
+    Subclasses implement :meth:`_touch` to account for the cache
+    behaviour of an access.
+    """
+
+    def __init__(self) -> None:
+        self._next_base = _PAGE  # leave page 0 unmapped
+        self.arrays: dict[str, ArrayHandle] = {}
+        self.counters = PerfCounters()
+
+    # -- array registration ---------------------------------------------------
+    def register(self, name: str, array_or_size, itemsize: int | None = None) -> ArrayHandle:
+        """Register an array (or a (size, itemsize) description).
+
+        Returns a handle whose synthetic base address is page aligned;
+        handles are stable for the lifetime of the model, so re-running
+        an algorithm on the same model reuses addresses (important for
+        warm-cache measurements).
+        """
+        if name in self.arrays:
+            return self.arrays[name]
+        if isinstance(array_or_size, np.ndarray):
+            size = int(array_or_size.size)
+            itemsize = int(array_or_size.itemsize)
+        else:
+            size = int(array_or_size)
+            itemsize = int(itemsize if itemsize is not None else 8)
+        handle = ArrayHandle(name, self._next_base, itemsize, max(size, 1))
+        nbytes = handle.nbytes
+        self._next_base += ((nbytes + _PAGE - 1) // _PAGE + 1) * _PAGE
+        self.arrays[name] = handle
+        return handle
+
+    def set_counters(self, counters: PerfCounters) -> None:
+        """Redirect event accounting (e.g. to the current thread)."""
+        self.counters = counters
+
+    # -- data accesses ----------------------------------------------------------
+    # Access descriptors: pass ``idx`` (scalar or array of item indices),
+    # or ``start``+``count`` for a streaming range, or just ``count`` when
+    # the position is immaterial (analytic mode).
+
+    def read(self, handle: ArrayHandle, idx=None, count: int | None = None,
+             mode: str = "seq", start: int | None = None) -> None:
+        n = _count(idx, count)
+        self.counters.reads += n
+        if mode == "cached":
+            # a re-read of data known to be resident (e.g. binary-search
+            # probes into a just-scanned neighbor list): issues the load
+            # instruction but never misses
+            return
+        self._touch(handle, idx, n, mode, start)
+
+    def write(self, handle: ArrayHandle, idx=None, count: int | None = None,
+              mode: str = "seq", start: int | None = None) -> None:
+        n = _count(idx, count)
+        self.counters.writes += n
+        self._touch(handle, idx, n, mode, start)
+
+    def faa(self, handle: ArrayHandle, idx=None, count: int | None = None,
+            mode: str = "rand", start: int | None = None,
+            batched: bool = False) -> None:
+        """Fetch-and-add: one atomic instruction per item (plus its R+W).
+
+        ``batched`` marks a segregated same-array atomic stream (PA's
+        remote phase), which the cost model discounts.
+        """
+        n = _count(idx, count)
+        c = self.counters
+        c.atomics += n
+        c.faa += n
+        if batched:
+            c.atomics_batched += n
+        c.reads += n
+        c.writes += n
+        c.branches_uncond += n  # the locked-instruction dispatch, as counted in [50]
+        self._touch(handle, idx, n, mode, start)
+
+    def cas(self, handle: ArrayHandle, idx=None, count: int | None = None,
+            successes: int | None = None, mode: str = "rand",
+            start: int | None = None, batched: bool = False) -> None:
+        """Compare-and-swap: one atomic per attempt; failures still cost."""
+        n = _count(idx, count)
+        c = self.counters
+        c.atomics += n
+        c.cas += n
+        if batched:
+            c.atomics_batched += n
+        c.reads += n
+        if successes is None:
+            successes = n
+        c.writes += int(successes)
+        c.branches_uncond += n
+        self._touch(handle, idx, n, mode, start)
+
+    def lock(self, handle: ArrayHandle, idx=None, count: int | None = None,
+             mode: str = "rand", start: int | None = None) -> None:
+        """Lock acquisition + release around a critical section."""
+        n = _count(idx, count)
+        c = self.counters
+        c.locks += n
+        c.reads += n   # lock word load
+        c.writes += n  # lock word store
+        c.branches_uncond += n
+        self._touch(handle, idx, n, mode, start)
+
+    # -- non-memory events -------------------------------------------------------
+    def branch_cond(self, n: int = 1) -> None:
+        self.counters.branches_cond += int(n)
+
+    def branch_uncond(self, n: int = 1) -> None:
+        self.counters.branches_uncond += int(n)
+
+    def flop(self, n: int = 1) -> None:
+        self.counters.flops += int(n)
+
+    # -- cache accounting (subclass hook) ------------------------------------------
+    def _touch(self, handle: ArrayHandle, idx, n: int, mode: str,
+               start: int | None = None) -> None:
+        raise NotImplementedError
+
+
+class CountingMemory(MemoryModel):
+    """Counter-only memory with an analytic cache-miss estimate.
+
+    The locality model: a streaming (``seq``) scan of ``k`` items
+    misses once per cache line at every level too small to hold the
+    array; a ``rand`` access misses with probability
+    ``max(0, 1 - level_size / array_bytes)`` at each level (the chance
+    that a uniformly random line of the array is not cached), and
+    analogously for the TLB over pages.  Miss fractions accumulate as
+    floats and are rounded into the integer counters.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchySpec | None = None) -> None:
+        super().__init__()
+        self.hier = hierarchy or CacheHierarchySpec()
+        self._line = self.hier.l1.line_bytes
+        # float accumulators, flushed into integer counters lazily
+        self._acc: dict[int, list] = {}
+
+    def _acc_for(self, counters: PerfCounters) -> list:
+        key = id(counters)
+        acc = self._acc.get(key)
+        if acc is None:
+            acc = [0.0, 0.0, 0.0, 0.0, counters]  # l1, l2, l3, tlb
+            self._acc[key] = acc
+        return acc
+
+    def _touch(self, handle: ArrayHandle, idx, n: int, mode: str,
+               start: int | None = None) -> None:
+        nbytes = handle.nbytes
+        # Span refinement: when the random-access indices are known, the
+        # effective working set is the index *span*, not the whole array --
+        # road-network neighbors cluster near their vertex, so their state
+        # stays cache-resident even though the full array would not.
+        if mode == "rand" and idx is not None and not np.isscalar(idx):
+            arr = np.asarray(idx)
+            if arr.size > 1:
+                span = int(arr.max() - arr.min() + 1) * handle.itemsize
+                nbytes = min(nbytes, max(span, handle.itemsize))
+        acc = self._acc_for(self.counters)
+        if mode == "seq":
+            lines = n * handle.itemsize / self._line
+            if nbytes > self.hier.l1.size_bytes:
+                acc[0] += lines
+            if nbytes > self.hier.l2.size_bytes:
+                acc[1] += lines
+            if nbytes > self.hier.l3.size_bytes:
+                acc[2] += lines
+            pages = n * handle.itemsize / _PAGE
+            if nbytes > self.hier.tlb.entries * self.hier.tlb.page_bytes:
+                acc[3] += pages
+        else:
+            acc[0] += n * max(0.0, 1.0 - self.hier.l1.size_bytes / nbytes)
+            acc[1] += n * max(0.0, 1.0 - self.hier.l2.size_bytes / nbytes)
+            acc[2] += n * max(0.0, 1.0 - self.hier.l3.size_bytes / nbytes)
+            tlb_reach = self.hier.tlb.entries * self.hier.tlb.page_bytes
+            acc[3] += n * max(0.0, 1.0 - tlb_reach / nbytes)  # span-refined
+        self._flush(acc)
+
+    @staticmethod
+    def _flush(acc: list) -> None:
+        counters: PerfCounters = acc[4]
+        for slot, attr in ((0, "l1_misses"), (1, "l2_misses"), (2, "l3_misses"),
+                           (3, "tlb_d_misses")):
+            whole = int(acc[slot])
+            if whole:
+                setattr(counters, attr, getattr(counters, attr) + whole)
+                acc[slot] -= whole
+
+
+class CacheSimMemory(MemoryModel):
+    """Memory model backed by the trace-driven cache simulator.
+
+    Every thread gets its own private L1/L2 and TLB; L3 is shared
+    across threads (as on the paper's Xeons).  The runtime must call
+    :meth:`set_thread` alongside :meth:`set_counters` so misses are
+    simulated in the right private caches and *attributed* to the right
+    thread's counters.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchySpec | None = None,
+                 n_threads: int = 1) -> None:
+        super().__init__()
+        self.hier = hierarchy or CacheHierarchySpec()
+        self.n_threads = n_threads
+        self._sims = [CacheSim(self.hier) for _ in range(n_threads)]
+        # L3 shared: all per-thread sims share one L3 level object.
+        shared_l3 = self._sims[0].l3
+        for sim in self._sims[1:]:
+            sim.l3 = shared_l3
+        self._thread = 0
+        self._before = [s.snapshot() for s in self._sims]
+        self._l3_before = 0
+
+    def set_thread(self, tid: int) -> None:
+        self._thread = tid
+
+    def _touch(self, handle: ArrayHandle, idx, n: int, mode: str,
+               start: int | None = None) -> None:
+        sim = self._sims[self._thread]
+        c = self.counters
+        before_l1, before_l2, before_tlb = sim.l1.misses, sim.l2.misses, sim.tlb.misses
+        before_l3 = sim.l3.misses
+        if idx is None:
+            # A streaming range: (start, count) when the caller knows the
+            # position, else synthesized from the array base (the line/page
+            # counts of a sequential sweep do not depend on the position).
+            first = 0 if start is None else int(start)
+            sim.access(handle.base
+                       + (first + np.arange(n, dtype=np.int64)) * handle.itemsize)
+        elif np.isscalar(idx):
+            sim.access(handle.base + int(idx) * handle.itemsize)
+        else:
+            sim.access(handle.addr(idx))
+        c.l1_misses += sim.l1.misses - before_l1
+        c.l2_misses += sim.l2.misses - before_l2
+        c.l3_misses += sim.l3.misses - before_l3
+        c.tlb_d_misses += sim.tlb.misses - before_tlb

@@ -1,0 +1,52 @@
+"""PRAM machinery and the paper's Section-4 cost analyses.
+
+* :mod:`repro.pram.models` -- the PRAM variants (EREW / CREW /
+  Combining-CRCW) and the simulation lemmas of Section 2.1.
+* :mod:`repro.pram.primitives` -- the ``k-relaxation`` and ``k-filter``
+  cost primitives every per-algorithm analysis is phrased in.
+* :mod:`repro.pram.costs` -- numeric evaluators (and human-readable
+  formula strings) for the push and pull complexities of all seven
+  algorithms.
+"""
+
+from repro.pram.models import PRAM, simulate_crcw_on_weaker, limit_processors
+from repro.pram.machine import PRAMMachine, AccessViolation
+from repro.pram.primitives import k_bar, k_relaxation, k_filter, PrimitiveCost
+from repro.pram.costs import (
+    AlgorithmCost,
+    connected_components_cost,
+    kruskal_cost,
+    pagerank_cost,
+    prim_cost,
+    triangle_count_cost,
+    bfs_cost,
+    sssp_delta_cost,
+    bc_cost,
+    boman_coloring_cost,
+    boruvka_cost,
+    ALGORITHM_COSTS,
+)
+
+__all__ = [
+    "PRAM",
+    "simulate_crcw_on_weaker",
+    "limit_processors",
+    "k_bar",
+    "k_relaxation",
+    "k_filter",
+    "PrimitiveCost",
+    "AlgorithmCost",
+    "pagerank_cost",
+    "triangle_count_cost",
+    "bfs_cost",
+    "sssp_delta_cost",
+    "bc_cost",
+    "boman_coloring_cost",
+    "boruvka_cost",
+    "prim_cost",
+    "kruskal_cost",
+    "connected_components_cost",
+    "ALGORITHM_COSTS",
+    "PRAMMachine",
+    "AccessViolation",
+]

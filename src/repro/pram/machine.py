@@ -1,0 +1,171 @@
+"""An executable PRAM: step-synchronous processors with access checking.
+
+Section 2.1 defines the machine the analyses run on: P processors over
+a shared memory, proceeding in tightly-synchronized steps, with the
+variants differing in what concurrent accesses they admit.  This module
+makes that machine *executable*: programs are written as per-processor
+step functions, and the machine
+
+* enforces the variant's access rules -- an EREW run raises
+  :class:`AccessViolation` on any concurrent access to a cell, a CREW
+  run on concurrent writes, while CRCW-CB *combines* concurrent writes
+  with the configured associative-commutative operator;
+* counts time (steps) and work (total instructions), the S and W of
+  the paper's notation.
+
+The test suite uses it to demonstrate the k-relaxation facts behind
+Section 4: a push relaxation is a single CRCW-CB step, needs a
+log(d̂)-depth merge tree on CREW, and is illegal as-is on EREW.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.pram.models import PRAM
+
+
+class AccessViolation(RuntimeError):
+    """A program broke the active PRAM variant's concurrency rules."""
+
+
+class PRAMMachine:
+    """A P-processor PRAM over ``memory_cells`` shared cells.
+
+    Programs execute through :meth:`step`: every processor contributes
+    a list of (op, cell, value) instructions for the *same* time step;
+    the machine validates concurrency, applies reads before writes
+    (the standard PRAM convention), and advances S and W.
+    """
+
+    def __init__(self, P: int, memory_cells: int,
+                 model: PRAM = PRAM.CRCW_CB,
+                 combine: Callable[[float, float], float] = lambda a, b: a + b,
+                 ) -> None:
+        if P <= 0 or memory_cells <= 0:
+            raise ValueError("P and memory size must be positive")
+        self.P = P
+        self.model = model
+        self.combine = combine
+        self.memory = np.zeros(memory_cells)
+        self.time_steps = 0      #: S
+        self.work = 0            #: W
+
+    # -- one synchronous step ------------------------------------------------
+    def step(self, instructions: list[list[tuple]]) -> list[list[float]]:
+        """Execute one synchronous step.
+
+        ``instructions[p]`` is processor p's instruction list for this
+        step: tuples ``("read", cell)``, ``("write", cell, value)``, or
+        ``("local",)`` (pure computation).  Returns per-processor read
+        results in order.  A processor may idle with an empty list.
+        """
+        if len(instructions) != self.P:
+            raise ValueError("need one instruction list per processor")
+        reads: dict[int, list[int]] = {}
+        writes: dict[int, list[float]] = {}
+        results: list[list[float]] = [[] for _ in range(self.P)]
+
+        for p, prog in enumerate(instructions):
+            for instr in prog:
+                self.work += 1
+                op = instr[0]
+                if op == "local":
+                    continue
+                cell = int(instr[1])
+                if not (0 <= cell < len(self.memory)):
+                    raise AccessViolation(f"cell {cell} out of bounds")
+                if op == "read":
+                    reads.setdefault(cell, []).append(p)
+                elif op == "write":
+                    writes.setdefault(cell, []).append(float(instr[2]))
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+
+        # --- concurrency validation -----------------------------------------
+        if self.model is PRAM.EREW:
+            for cell, readers in reads.items():
+                if len(readers) > 1:
+                    raise AccessViolation(
+                        f"EREW: concurrent reads of cell {cell}")
+        if self.model in (PRAM.EREW, PRAM.CREW):
+            for cell, values in writes.items():
+                if len(values) > 1:
+                    raise AccessViolation(
+                        f"{self.model.value}: concurrent writes to cell {cell}")
+        for cell in writes:
+            if cell in reads and self.model is PRAM.EREW:
+                raise AccessViolation(
+                    f"EREW: cell {cell} read and written in one step")
+
+        # --- apply: reads see the pre-step memory -----------------------------
+        snapshot = self.memory
+        for p, prog in enumerate(instructions):
+            for instr in prog:
+                if instr[0] == "read":
+                    results[p].append(float(snapshot[int(instr[1])]))
+        new_memory = self.memory.copy()
+        for cell, values in writes.items():
+            acc = values[0]
+            for v in values[1:]:
+                acc = self.combine(acc, v)   # CRCW-CB combining rule
+            new_memory[cell] = acc
+        self.memory = new_memory
+        self.time_steps += 1
+        return results
+
+    # -- convenience program: one k-relaxation -----------------------------------
+    def k_relaxation_push(self, sources: list[int], target: int) -> None:
+        """All of ``sources`` push their cell values into ``target`` in
+        one step -- legal only under CRCW-CB; CREW/EREW raise, which is
+        exactly why Section 4 charges pushing a log(d̂) merge tree there.
+        """
+        step = [[] for _ in range(self.P)]
+        for i, s in enumerate(sources):
+            step[i % self.P].append(("read", s))
+        vals = self.step(step)
+        flat = [v for sub in vals for v in sub]
+        step2 = [[] for _ in range(self.P)]
+        for i, v in enumerate(flat):
+            step2[i % self.P].append(("write", target, v))
+        self.step(step2)
+
+    def k_relaxation_push_crew(self, sources: list[int], target: int,
+                               scratch_base: int) -> None:
+        """CREW-legal push: a binary merge tree over scratch cells.
+
+        Takes ceil(log2(k)) + 2 steps, matching the O(k̄ log d̂) CREW
+        bound of Section 4's cost derivations.
+        """
+        vals_cells = list(sources)
+        level = 0
+        while len(vals_cells) > 1:
+            nxt = []
+            step = [[] for _ in range(self.P)]
+            read_plan = []
+            for i in range(0, len(vals_cells) - 1, 2):
+                a, b_ = vals_cells[i], vals_cells[i + 1]
+                proc = (i // 2) % self.P
+                step[proc].extend([("read", a), ("read", b_)])
+                read_plan.append((proc, scratch_base + len(nxt)))
+                nxt.append(scratch_base + len(nxt))
+            carried = [vals_cells[-1]] if len(vals_cells) % 2 else []
+            results = self.step(step)
+            wstep = [[] for _ in range(self.P)]
+            consumed = {p: 0 for p in range(self.P)}
+            for proc, out_cell in read_plan:
+                i = consumed[proc]
+                a, b_ = results[proc][i], results[proc][i + 1]
+                consumed[proc] += 2
+                wstep[proc].append(("write", out_cell, self.combine(a, b_)))
+            self.step(wstep)
+            vals_cells = nxt + carried
+            scratch_base += len(nxt)
+            level += 1
+        # final move into the target
+        final = self.step([[("read", vals_cells[0])]]
+                          + [[] for _ in range(self.P - 1)])
+        self.step([[("write", target, final[0][0])]]
+                  + [[] for _ in range(self.P - 1)])

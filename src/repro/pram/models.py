@@ -1,0 +1,59 @@
+"""PRAM model variants and simulation lemmas (Section 2.1 of the paper).
+
+The paper uses three PRAM flavours: EREW (no concurrent access), CREW
+(concurrent reads only) and Combining CRCW (concurrent writes combined
+with an associative+commutative operator).  Two classical lemmas let
+costs transfer between them:
+
+* **Simulation**: any CRCW (or CREW) step over M cells runs on a
+  CREW/EREW machine with Θ(log P) slowdown.
+* **Processor limiting (LP / Brent)**: S time on P processors becomes
+  ``ceil(S * P / P')`` time on P' < P processors.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+
+class PRAM(Enum):
+    """The PRAM variants of Section 2.1."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW_CB = "CRCW-CB"   #: Combining CRCW
+
+    @property
+    def allows_concurrent_reads(self) -> bool:
+        return self is not PRAM.EREW
+
+    @property
+    def allows_concurrent_writes(self) -> bool:
+        return self is PRAM.CRCW_CB
+
+
+def simulate_crcw_on_weaker(time_steps: float, P: int,
+                            target: PRAM = PRAM.CREW) -> float:
+    """Time after simulating a CRCW-CB algorithm on a weaker PRAM.
+
+    Both CRCW->CREW and CREW->EREW simulations cost Θ(log P) slowdown
+    (Harris [30]); chaining both costs the same asymptotically, so we
+    apply a single log-factor per weakening level.
+    """
+    if P <= 1:
+        return time_steps
+    slow = max(1.0, math.log2(P))
+    if target is PRAM.CRCW_CB:
+        return time_steps
+    if target is PRAM.CREW:
+        return time_steps * slow
+    return time_steps * slow  # EREW: same Θ(log P) bound
+
+def limit_processors(time_steps: float, P: int, P_prime: int) -> float:
+    """The LP lemma: S' = ceil(S * P / P') for P' < P (fixed memory M)."""
+    if P_prime <= 0:
+        raise ValueError("P' must be positive")
+    if P_prime >= P:
+        return time_steps
+    return math.ceil(time_steps * P / P_prime)

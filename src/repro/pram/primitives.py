@@ -1,0 +1,67 @@
+"""The k-relaxation and k-filter cost primitives (Section 4).
+
+The paper phrases every per-algorithm analysis in two primitives:
+
+* ``k-relaxation``: simultaneously propagate updates from/to k vertices
+  to/from one of their neighbors (push/pull respectively).
+    - pulling:            O(k̄) time,            O(k) work
+    - pushing, CRCW-CB:   O(k̄) time,            O(k) work
+    - pushing, CREW:      O(k̄ · log d̂) time,    O(k · log d̂) work
+      (binary merge-tree reductions over each updated vertex's degree)
+* ``k-filter``: extract the vertices updated by one or more
+  k-relaxations (non-trivial only when pushing):
+    - O(log P + k̄) time, O(min(k, n)) work via a prefix sum
+
+with k̄ = max(1, k / P).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pram.models import PRAM
+
+
+@dataclass(frozen=True)
+class PrimitiveCost:
+    """(time, work) of one primitive invocation, in abstract PRAM steps."""
+
+    time: float
+    work: float
+
+    def __add__(self, other: "PrimitiveCost") -> "PrimitiveCost":
+        return PrimitiveCost(self.time + other.time, self.work + other.work)
+
+    def scaled(self, factor: float) -> "PrimitiveCost":
+        return PrimitiveCost(self.time * factor, self.work * factor)
+
+
+def k_bar(k: float, P: int) -> float:
+    """k̄ = max(1, k / P)."""
+    return max(1.0, k / max(P, 1))
+
+
+def k_relaxation(k: float, P: int, direction: str,
+                 model: PRAM = PRAM.CRCW_CB, d_hat: int = 2) -> PrimitiveCost:
+    """Cost of one k-relaxation.
+
+    ``direction`` is ``"push"`` or ``"pull"``; ``d_hat`` only matters
+    for the CREW push case (merge-tree height log d̂).
+    """
+    if direction not in ("push", "pull"):
+        raise ValueError("direction must be 'push' or 'pull'")
+    kb = k_bar(k, P)
+    if direction == "pull" or model is PRAM.CRCW_CB:
+        return PrimitiveCost(time=kb, work=k)
+    # pushing on CREW (or EREW, same tree bound): binary merge trees
+    log_d = max(1.0, math.log2(max(d_hat, 2)))
+    return PrimitiveCost(time=kb * log_d, work=k * log_d)
+
+
+def k_filter(k: float, P: int, n: int) -> PrimitiveCost:
+    """Cost of one k-filter (prefix-sum compaction of updated vertices)."""
+    return PrimitiveCost(
+        time=math.log2(max(P, 2)) + k_bar(k, P),
+        work=min(k, n),
+    )

@@ -1,0 +1,177 @@
+"""The simulated distributed-memory machine (Section 6.3).
+
+P processes, each owning a 1D block of vertices, communicate through
+one of two backends:
+
+* **Message Passing (MP)** -- explicit point-to-point messages with
+  implicit synchronization, plus the ``alltoallv`` collective the
+  paper's MP PageRank uses.  Messages are buffered in mailboxes and
+  delivered at the next superstep boundary.
+* **Remote Memory Access (RMA)** -- puts/gets/accumulates on remote
+  windows with explicit flushes, mirroring MPI-3 one-sided / foMPI.
+  ``accumulate`` distinguishes float and integer operands: the paper
+  found that float ``MPI_Accumulate`` uses a costly locking protocol
+  while 64-bit-integer fetch-and-op has a hardware fast path, and that
+  difference is what flips the PR-vs-TC backend ranking (Section 6.5).
+
+Simulated time per superstep is the max over processes of the event
+cost accumulated in that superstep (BSP accounting); the α-β weights
+live in :class:`repro.machine.cost_model.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.graph.partition import Partition1D
+from repro.machine.cost_model import MachineSpec, XC40
+from repro.machine.counters import PerfCounters
+from repro.machine.memory import CountingMemory, MemoryModel
+
+
+class DMRuntime:
+    """P simulated processes with MP and RMA communication primitives."""
+
+    def __init__(self, n_vertices: int, P: int, machine: MachineSpec = XC40,
+                 memory: MemoryModel | None = None) -> None:
+        self.P = P
+        self.machine = machine
+        self.part = Partition1D(n_vertices, P)
+        self.mem = memory or CountingMemory(machine.hierarchy)
+        self.proc_counters = [PerfCounters() for _ in range(P)]
+        self.time = 0.0
+        self._rank: int | None = None
+        # mailboxes[dest] = list of (source, payload) delivered next superstep
+        self._in_flight: list[list[tuple[int, Any]]] = [[] for _ in range(P)]
+        self._mailboxes: list[list[tuple[int, Any]]] = [[] for _ in range(P)]
+        self.mem.set_counters(self.proc_counters[0])
+
+    # -- process bookkeeping ------------------------------------------------------
+    def owner(self, v):
+        return self.part.owner(v)
+
+    def owned(self, p: int) -> np.ndarray:
+        return self.part.owned(p)
+
+    def total_counters(self) -> PerfCounters:
+        return PerfCounters.total(self.proc_counters)
+
+    def _activate(self, p: int) -> None:
+        self._rank = p
+        self.mem.set_counters(self.proc_counters[p])
+
+    @property
+    def rank(self) -> int:
+        if self._rank is None:
+            raise RuntimeError("not inside a superstep")
+        return self._rank
+
+    # -- superstep execution --------------------------------------------------------
+    def superstep(self, body: Callable[[int], None]) -> None:
+        """Run ``body(p)`` for every process; deliver messages afterwards.
+
+        Time advances by the slowest process in the superstep plus a
+        barrier (the implicit synchronization of the MP model / the
+        window synchronization of RMA).
+        """
+        span = 0.0
+        for p in range(self.P):
+            self._activate(p)
+            before = self.machine.time(self.proc_counters[p])
+            body(p)
+            span = max(span, self.machine.time(self.proc_counters[p]) - before)
+        self._rank = None
+        self.time += span + self.machine.w_barrier
+        for c in self.proc_counters:
+            c.barriers += 1
+        # deliver in-flight messages
+        self._mailboxes = self._in_flight
+        self._in_flight = [[] for _ in range(self.P)]
+
+    # -- Message Passing -----------------------------------------------------------
+    def send(self, dest: int, payload: Any, nbytes: int | None = None) -> None:
+        """Post a point-to-point message (delivered next superstep)."""
+        c = self.proc_counters[self.rank]
+        c.messages += 1
+        c.msg_bytes += self._payload_bytes(payload) if nbytes is None else int(nbytes)
+        self._in_flight[dest].append((self.rank, payload))
+
+    def inbox(self) -> list[tuple[int, Any]]:
+        """Messages delivered to this process at the last boundary."""
+        msgs = self._mailboxes[self.rank]
+        self._mailboxes[self.rank] = []
+        # receive cost: latency per message is paid by the receiver too
+        self.proc_counters[self.rank].messages += 0  # latency counted at sender
+        return msgs
+
+    def alltoallv(self, contributions: list[list[Any]]) -> list[list[Any]]:
+        """The MPI_Alltoallv collective.
+
+        ``contributions[p][q]`` is the payload process p sends to q.
+        Every process pays ``ceil(log2 P)`` collective steps plus the
+        bytes it sends and receives (the paper's Section 6.3.1 notes
+        this variant both pushes and pulls, erasing the distinction).
+        Returns ``received[q][p]`` = payload from p to q.
+        """
+        if len(contributions) != self.P:
+            raise ValueError("need one contribution vector per process")
+        steps = max(1, int(np.ceil(np.log2(max(self.P, 2)))))
+        received: list[list[Any]] = [[None] * self.P for _ in range(self.P)]
+        for p in range(self.P):
+            row = contributions[p]
+            if len(row) != self.P:
+                raise ValueError("each contribution vector must have P entries")
+            sent_bytes = sum(self._payload_bytes(x) for x in row)
+            c = self.proc_counters[p]
+            c.collectives += steps
+            c.collective_bytes += sent_bytes
+            for q in range(self.P):
+                received[q][p] = row[q]
+        for q in range(self.P):
+            c = self.proc_counters[q]
+            c.collective_bytes += sum(self._payload_bytes(x) for x in received[q])
+        return received
+
+    # -- Remote Memory Access ----------------------------------------------------------
+    def rma_get(self, owner: int, nitems: int, itemsize: int = 8,
+                ops: int = 1) -> None:
+        """Fetch ``nitems`` items from a remote window in ``ops`` gets."""
+        self._remote_op(owner, "remote_gets", nitems * itemsize, op_count=ops)
+
+    def rma_put(self, owner: int, nitems: int, itemsize: int = 8,
+                ops: int = 1) -> None:
+        self._remote_op(owner, "remote_puts", nitems * itemsize, op_count=ops)
+
+    def rma_accumulate(self, owner: int, nitems: int, dtype: str = "float",
+                       itemsize: int = 8) -> None:
+        """Remote accumulate; ``dtype`` chooses the protocol (Section 6.3)."""
+        attr = "remote_acc_float" if dtype == "float" else "remote_acc_int"
+        self._remote_op(owner, attr, nitems * itemsize, op_count=nitems)
+
+    def rma_flush(self, owner: int | None = None) -> None:
+        self.proc_counters[self.rank].flushes += 1
+
+    def _remote_op(self, owner: int, attr: str, nbytes: int,
+                   op_count: int = 1) -> None:
+        c = self.proc_counters[self.rank]
+        if owner == self.rank:
+            # local window access: plain memory traffic, no network
+            c.reads += max(1, nbytes // 8)
+            return
+        setattr(c, attr, getattr(c, attr) + op_count)
+        c.remote_bytes += nbytes
+
+    # -- helpers ------------------------------------------------------------------------
+    @staticmethod
+    def _payload_bytes(payload: Any) -> int:
+        if payload is None:
+            return 0
+        if isinstance(payload, np.ndarray):
+            return int(payload.nbytes)
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, (list, tuple)):
+            return 8 * len(payload)
+        return 8

@@ -1,0 +1,117 @@
+"""Region-level profiling for the simulated shared-memory runtime.
+
+Wraps an :class:`~repro.runtime.sm.SMRuntime` so every parallel region
+is recorded: label (caller-supplied or auto-numbered), simulated span,
+per-thread spans (for imbalance), and the dominant event of the region.
+The report renders the top regions with load-imbalance factors --
+the tool one reaches for when a push variant is slower than expected
+and the question is *which phase* and *which thread*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.harness.charts import bar_chart
+from repro.machine.cost_model import MachineSpec
+from repro.runtime.sm import SMRuntime
+
+
+@dataclass
+class RegionRecord:
+    index: int
+    label: str
+    span: float                 #: simulated region time (mtu)
+    thread_spans: list          #: per-thread costs within the region
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean thread cost -- 1.0 is perfectly balanced."""
+        busy = [s for s in self.thread_spans if s > 0]
+        if not busy:
+            return 1.0
+        return max(busy) / (sum(busy) / len(busy))
+
+
+@dataclass
+class Profile:
+    records: list = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(r.span for r in self.records)
+
+    def top(self, k: int = 10) -> list[RegionRecord]:
+        return sorted(self.records, key=lambda r: -r.span)[:k]
+
+    def by_label(self) -> dict:
+        agg: dict[str, float] = {}
+        for r in self.records:
+            agg[r.label] = agg.get(r.label, 0.0) + r.span
+        return dict(sorted(agg.items(), key=lambda kv: -kv[1]))
+
+    def render(self, k: int = 10) -> str:
+        lines = [f"profile: {len(self.records)} regions, "
+                 f"{self.total:,.0f} mtu total"]
+        agg = self.by_label()
+        if agg:
+            lines.append(bar_chart(list(agg.items())[:k]))
+        lines.append("top regions by span:")
+        for r in self.top(k):
+            lines.append(f"  #{r.index:<4} {r.label:<24} {r.span:>12,.0f} mtu  "
+                         f"imbalance {r.imbalance:.2f}x")
+        return "\n".join(lines)
+
+
+class ProfiledRuntime(SMRuntime):
+    """An SMRuntime that records every region into a :class:`Profile`.
+
+    Use :meth:`annotate` to label the regions an algorithm is about to
+    run (labels stick until changed); unlabeled regions are numbered.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.profile = Profile()
+        self._label = ""
+
+    def annotate(self, label: str) -> "ProfiledRuntime":
+        self._label = label
+        return self
+
+    def _region(self, chunks, body, barrier) -> None:
+        spans = []
+        for t, chunk in enumerate(chunks):
+            self._activate(t)
+            before = self.machine.time(self.thread_counters[t])
+            body(t, chunk)
+            spans.append(self.machine.time(self.thread_counters[t]) - before)
+        span = self._region_span(spans)
+        self.time += span
+        self.profile.records.append(RegionRecord(
+            index=len(self.profile.records),
+            label=self._label or f"region-{len(self.profile.records)}",
+            span=span,
+            thread_spans=spans,
+        ))
+        if barrier:
+            self.barrier()
+
+    def sequential(self, body, thread: int = 0, barrier: bool = True) -> None:
+        self._activate(thread)
+        before = self.machine.time(self.thread_counters[thread])
+        body()
+        span = self.machine.time(self.thread_counters[thread]) - before
+        self.time += span
+        spans = [0.0] * self.P
+        spans[thread] = span
+        self.profile.records.append(RegionRecord(
+            index=len(self.profile.records),
+            label=(self._label or "sequential") + " [seq]",
+            span=span,
+            thread_spans=spans,
+        ))
+        if barrier:
+            self.barrier()

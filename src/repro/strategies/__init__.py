@@ -1,0 +1,37 @@
+"""Acceleration strategies (Section 5 of the paper).
+
+* **Partition-Awareness (PA)** -- split adjacency into local/remote to
+  trade atomics for plain writes (:mod:`repro.strategies.partition_awareness`;
+  the PR instance also lives in :func:`repro.algorithms.pagerank.pagerank`
+  as ``direction="push-pa"``).
+* **Frontier-Exploit (FE)** -- color BGC like a multi-source traversal
+  so each iteration touches only a frontier
+  (:mod:`repro.strategies.frontier_exploit`).
+* **Generic-Switch (GS)** -- switch between push and pull mid-run
+  (:mod:`repro.strategies.switching`), including the Beamer-style
+  direction-optimizing BFS the paper cites as [4].
+* **Greedy-Switch (GrS)** -- abandon the parallel scheme for an
+  optimized sequential greedy when little work remains.
+* **Conflict-Removal (CR)** -- pre-color the border set so the parallel
+  phase cannot conflict at all (:mod:`repro.strategies.conflict_removal`).
+"""
+
+from repro.strategies.switching import (
+    direction_optimizing_bfs,
+    SwitchPolicy,
+)
+from repro.strategies.frontier_exploit import frontier_exploit_coloring
+from repro.strategies.conflict_removal import conflict_removal_coloring
+from repro.strategies.partition_awareness import (
+    pagerank_partition_aware,
+    triangle_count_partition_aware,
+)
+
+__all__ = [
+    "direction_optimizing_bfs",
+    "SwitchPolicy",
+    "frontier_exploit_coloring",
+    "conflict_removal_coloring",
+    "pagerank_partition_aware",
+    "triangle_count_partition_aware",
+]

@@ -1,0 +1,49 @@
+"""Partition-Awareness wrappers (Section 5, Algorithm 8).
+
+PA transforms push variants so that updates whose target is owned by
+the executing thread use plain writes, and only cross-partition targets
+pay atomics.  The strategy applies to PR, TC and BGC (per the paper);
+the PR and TC instances are implemented inside the respective algorithm
+modules and re-exported here under strategy-explicit names, together
+with the atomics-bound helper of Section 5 (0 <= PA atomics <= 2m,
+depending on how the partition cuts the edges).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.pagerank import PageRankResult, pagerank
+from repro.algorithms.triangle import TriangleCountResult, triangle_count
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition1D
+from repro.graph.partition_aware import PartitionAwareCSR
+from repro.runtime.sm import SMRuntime
+
+
+def pagerank_partition_aware(g: CSRGraph, rt: SMRuntime,
+                             iterations: int = 20, damping: float = 0.85,
+                             **kwargs) -> PageRankResult:
+    """Push-based PageRank with the PA split representation (Algorithm 8)."""
+    pa = PartitionAwareCSR(g, rt.part)
+    return pagerank(g, rt, direction="push-pa", iterations=iterations,
+                    damping=damping, pa=pa, **kwargs)
+
+
+def triangle_count_partition_aware(g: CSRGraph, rt: SMRuntime
+                                   ) -> TriangleCountResult:
+    """Push-based TC where locally-owned counters skip the FAA."""
+    return triangle_count(g, rt, direction="push-pa")
+
+
+def pa_atomics_bounds(g: CSRGraph, P: int) -> tuple[int, int, int]:
+    """(min possible, actual remote entries, max possible) PA atomic counts.
+
+    Section 5 bounds the atomics of one push+PA iteration between 0 --
+    no edge crosses owners, i.e. each thread owns whole connected
+    components -- and 2m -- every edge crosses, e.g. a bipartite graph
+    whose two sides are owned by different threads.  (The paper's prose
+    swaps the two conditions; the bounds themselves are as stated
+    here.)  The middle value is the actual remote-entry count under a
+    1D block partition of ``g`` over ``P`` owners.
+    """
+    pa = PartitionAwareCSR(g, Partition1D(g.n, P))
+    return 0, pa.remote_edge_count(), 2 * g.m

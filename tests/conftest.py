@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic graphs and runtimes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    community_graph, erdos_renyi, purchase_graph, rmat, road_network,
+)
+from repro.graph import CSRGraph, from_edges
+from repro.machine.cost_model import XC30
+from repro.machine.memory import CountingMemory
+from repro.runtime.sm import SMRuntime
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A hand-built 6-vertex graph with known structure.
+
+    Edges: a 4-cycle 0-1-2-3, a chord 0-2 (two triangles), a pendant 4
+    attached to 3, and an isolated vertex 5.
+    """
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (3, 4)]
+    return from_edges(6, edges)
+
+
+@pytest.fixture
+def tiny_weighted() -> CSRGraph:
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (3, 4)]
+    weights = [1.0, 2.0, 1.0, 5.0, 2.5, 0.5]
+    return from_edges(6, edges, weights)
+
+
+@pytest.fixture
+def er_graph() -> CSRGraph:
+    return erdos_renyi(200, d_bar=4.0, seed=7)
+
+
+@pytest.fixture
+def er_weighted() -> CSRGraph:
+    return erdos_renyi(150, d_bar=4.0, seed=11, weighted=True)
+
+
+@pytest.fixture
+def comm_graph() -> CSRGraph:
+    return community_graph(256, d_bar=10.0, seed=3)
+
+
+@pytest.fixture
+def road_graph() -> CSRGraph:
+    return road_network(16, 16, seed=5, weighted=True)
+
+
+@pytest.fixture
+def pa_graph() -> CSRGraph:
+    return purchase_graph(200, seed=9)
+
+
+@pytest.fixture
+def rmat_graph() -> CSRGraph:
+    return rmat(8, d_bar=6.0, seed=13)
+
+
+def make_runtime(g: CSRGraph, P: int = 4, check_ownership: bool = False,
+                 machine=XC30) -> SMRuntime:
+    m = machine.scaled(64)
+    return SMRuntime(g, P=P, machine=m, memory=CountingMemory(m.hierarchy),
+                     check_ownership=check_ownership)
+
+
+@pytest.fixture
+def rt_factory():
+    return make_runtime
+
+
+def assert_levels_match(level: np.ndarray, ref: np.ndarray) -> None:
+    assert np.array_equal(level, ref), (
+        f"levels differ at {np.flatnonzero(level != ref)[:10]}")

@@ -1,0 +1,109 @@
+"""Correctness + instrumentation tests for Brandes betweenness centrality."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.reference import bc_reference
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+DIRECTIONS = ("push", "pull")
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+class TestCorrectness:
+    def test_exact_matches_networkx(self, pa_graph, direction):
+        rt = make_runtime(pa_graph, check_ownership=(direction == "pull"))
+        r = betweenness_centrality(pa_graph, rt, direction=direction)
+        nxbc = nx.betweenness_centrality(to_networkx(pa_graph),
+                                         normalized=False)
+        assert np.allclose(r.bc, [nxbc[i] for i in range(pa_graph.n)],
+                           atol=1e-9)
+
+    def test_path_graph_closed_form(self, direction):
+        # path 0-1-2-3-4: bc(v) = (v)(n-1-v) pairs through v
+        g = from_edges(5, [(i, i + 1) for i in range(4)])
+        rt = make_runtime(g)
+        r = betweenness_centrality(g, rt, direction=direction)
+        assert np.allclose(r.bc, [0, 3, 4, 3, 0])
+
+    def test_star_center_carries_all(self, direction):
+        g = from_edges(6, [(0, i) for i in range(1, 6)])
+        rt = make_runtime(g)
+        r = betweenness_centrality(g, rt, direction=direction)
+        assert r.bc[0] == pytest.approx(5 * 4 / 2)
+        assert np.allclose(r.bc[1:], 0.0)
+
+    def test_sampled_sources_match_reference(self, comm_graph, direction):
+        sources = [1, 7, 42, 99]
+        rt = make_runtime(comm_graph)
+        r = betweenness_centrality(comm_graph, rt, direction=direction,
+                                   sources=sources)
+        ref = bc_reference(comm_graph, sources=sources)
+        assert np.allclose(r.bc, ref, atol=1e-9)
+
+    def test_integer_source_count_samples(self, comm_graph, direction):
+        rt = make_runtime(comm_graph)
+        r = betweenness_centrality(comm_graph, rt, direction=direction,
+                                   sources=5, seed=1)
+        assert r.n_sources == 5
+
+
+class TestDirectionsAgree:
+    def test_same_bc_both_directions(self, comm_graph):
+        rts = [make_runtime(comm_graph) for _ in range(2)]
+        a = betweenness_centrality(comm_graph, rts[0], direction="push",
+                                   sources=[0, 5])
+        b = betweenness_centrality(comm_graph, rts[1], direction="pull",
+                                   sources=[0, 5])
+        assert np.allclose(a.bc, b.bc, atol=1e-9)
+
+
+class TestInstrumentation:
+    def test_push_uses_float_locks(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = betweenness_centrality(comm_graph, rt, direction="push",
+                                   sources=4, seed=0)
+        assert r.counters.locks > 0
+
+    def test_pull_lock_free(self, comm_graph):
+        """Section 4.9: pulling changes BC's conflicts from float locks to
+        integer operations; our level-synchronized pull needs neither."""
+        rt = make_runtime(comm_graph)
+        r = betweenness_centrality(comm_graph, rt, direction="pull",
+                                   sources=4, seed=0)
+        assert r.counters.locks == 0
+
+    def test_phase_times_partition_total(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = betweenness_centrality(comm_graph, rt, direction="pull",
+                                   sources=3, seed=0)
+        assert 0 < r.forward_time < r.time
+        assert 0 < r.backward_time < r.time
+        assert r.forward_time + r.backward_time <= r.time
+
+    def test_pull_beats_push(self, comm_graph):
+        rts = [make_runtime(comm_graph) for _ in range(2)]
+        push = betweenness_centrality(comm_graph, rts[0], direction="push",
+                                      sources=4, seed=2)
+        pull = betweenness_centrality(comm_graph, rts[1], direction="pull",
+                                      sources=4, seed=2)
+        assert pull.time < push.time
+
+
+class TestEdgeCases:
+    def test_disconnected(self, tiny_graph):
+        for d in DIRECTIONS:
+            rt = make_runtime(tiny_graph)
+            r = betweenness_centrality(tiny_graph, rt, direction=d)
+            nxbc = nx.betweenness_centrality(to_networkx(tiny_graph),
+                                             normalized=False)
+            assert np.allclose(r.bc, [nxbc[i] for i in range(6)], atol=1e-9)
+
+    def test_invalid_direction(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        with pytest.raises(ValueError):
+            betweenness_centrality(tiny_graph, rt, direction="diagonal")

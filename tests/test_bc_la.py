@@ -1,0 +1,59 @@
+"""Tests for the SpMM-batched algebraic betweenness centrality."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.la import bc_la
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+
+class TestCorrectness:
+    def test_matches_networkx(self, pa_graph):
+        nxbc = nx.betweenness_centrality(to_networkx(pa_graph),
+                                         normalized=False)
+        r = bc_la(pa_graph, batch=64)
+        assert np.allclose(r.bc, [nxbc[i] for i in range(pa_graph.n)],
+                           atol=1e-6)
+
+    def test_matches_vertex_centric_engine(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        vc = betweenness_centrality(comm_graph, rt, direction="pull",
+                                    sources=[0, 3, 9])
+        la = bc_la(comm_graph, sources=[0, 3, 9])
+        assert np.allclose(vc.bc, la.bc, atol=1e-8)
+
+    def test_path_graph(self):
+        g = from_edges(5, [(i, i + 1) for i in range(4)])
+        r = bc_la(g)
+        assert np.allclose(r.bc, [0, 3, 4, 3, 0])
+
+    def test_batching_invariant(self, pa_graph):
+        """The answer must not depend on the batch width."""
+        a = bc_la(pa_graph, batch=7)
+        b = bc_la(pa_graph, batch=200)
+        assert np.allclose(a.bc, b.bc, atol=1e-8)
+
+    def test_disconnected(self, tiny_graph):
+        nxbc = nx.betweenness_centrality(to_networkx(tiny_graph),
+                                         normalized=False)
+        r = bc_la(tiny_graph)
+        assert np.allclose(r.bc, [nxbc[i] for i in range(6)], atol=1e-9)
+
+
+class TestAccounting:
+    def test_sampled_sources(self, pa_graph):
+        r = bc_la(pa_graph, sources=10, seed=1)
+        assert len(r.sources) == 10
+
+    def test_spmm_count_scales_with_batches(self, pa_graph):
+        few = bc_la(pa_graph, sources=list(range(16)), batch=16)
+        many = bc_la(pa_graph, sources=list(range(16)), batch=4)
+        # smaller batches => more (narrower) SpMM invocations
+        assert many.spmm_count > few.spmm_count
+
+    def test_flops_positive(self, pa_graph):
+        assert bc_la(pa_graph, sources=4).flops > 0

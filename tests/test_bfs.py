@@ -1,0 +1,119 @@
+"""Correctness + instrumentation tests for top-down/bottom-up BFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.reference import bfs_reference
+from repro.generators import erdos_renyi
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+DIRECTIONS = ("push", "pull")
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+class TestCorrectness:
+    def test_levels_match_reference(self, comm_graph, direction):
+        ref = bfs_reference(comm_graph, 0)
+        rt = make_runtime(comm_graph, check_ownership=(direction == "pull"))
+        r = bfs(comm_graph, rt, 0, direction=direction)
+        assert np.array_equal(r.level, ref)
+
+    def test_levels_match_networkx(self, pa_graph, direction):
+        rt = make_runtime(pa_graph)
+        r = bfs(pa_graph, rt, 3, direction=direction)
+        nxl = nx.single_source_shortest_path_length(to_networkx(pa_graph), 3)
+        for v in range(pa_graph.n):
+            assert r.level[v] == nxl.get(v, -1)
+
+    def test_parents_form_valid_tree(self, comm_graph, direction):
+        rt = make_runtime(comm_graph)
+        r = bfs(comm_graph, rt, 0, direction=direction)
+        for v in range(comm_graph.n):
+            if r.level[v] > 0:
+                p = int(r.parent[v])
+                assert comm_graph.has_edge(v, p)
+                assert r.level[p] == r.level[v] - 1
+        assert r.parent[0] == 0
+
+    def test_unreachable_marked(self, tiny_graph, direction):
+        rt = make_runtime(tiny_graph)
+        r = bfs(tiny_graph, rt, 0, direction=direction)
+        assert r.level[5] == -1 and r.parent[5] == -1
+
+    def test_frontier_sizes_sum_to_reached(self, road_graph, direction):
+        rt = make_runtime(road_graph)
+        root = int(np.argmax(np.diff(road_graph.offsets)))
+        r = bfs(road_graph, rt, root, direction=direction)
+        assert sum(r.frontier_sizes) == int((r.level >= 0).sum())
+
+    def test_root_validation(self, tiny_graph, direction):
+        rt = make_runtime(tiny_graph)
+        with pytest.raises(ValueError):
+            bfs(tiny_graph, rt, 99, direction=direction)
+
+
+class TestPushPullEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_same_levels_on_random_graphs(self, seed):
+        g = erdos_renyi(80, d_bar=2.5, seed=seed)
+        rts = [make_runtime(g) for _ in range(2)]
+        a = bfs(g, rts[0], 0, direction="push")
+        b = bfs(g, rts[1], 0, direction="pull")
+        assert np.array_equal(a.level, b.level)
+
+
+class TestInstrumentation:
+    def test_push_cas_claims_each_vertex_once(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = bfs(comm_graph, rt, 0, direction="push")
+        reached = int((r.level > 0).sum())
+        # every CAS in the deterministic superstep succeeds exactly once
+        assert r.counters.cas == reached
+
+    def test_pull_zero_atomics(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = bfs(comm_graph, rt, 0, direction="pull")
+        assert r.counters.atomics == 0
+
+    def test_pull_reads_blow_up_on_high_diameter(self, road_graph):
+        """Section 4.3: pull costs O(D·m) reads vs push's O(m)."""
+        root = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        push = bfs(road_graph, rt, root, direction="push")
+        rt = make_runtime(road_graph)
+        pull = bfs(road_graph, rt, root, direction="pull")
+        assert pull.counters.reads > 5 * push.counters.reads
+
+    def test_push_faster_on_road_network(self, road_graph):
+        root = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        push = bfs(road_graph, rt, root, direction="push")
+        rt = make_runtime(road_graph)
+        pull = bfs(road_graph, rt, root, direction="pull")
+        assert push.time < pull.time
+
+    def test_directions_recorded(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = bfs(comm_graph, rt, 0, direction="push")
+        assert r.directions == ["push"] * r.iterations
+
+
+class TestEdgeCases:
+    def test_single_vertex_component(self):
+        g = from_edges(3, [(1, 2)])
+        rt = make_runtime(g)
+        r = bfs(g, rt, 0, direction="push")
+        assert r.level[0] == 0 and r.level[1] == -1
+
+    def test_star_graph_two_levels(self):
+        g = from_edges(8, [(0, i) for i in range(1, 8)])
+        for d in DIRECTIONS:
+            rt = make_runtime(g)
+            r = bfs(g, rt, 0, direction=d)
+            assert np.array_equal(np.sort(r.level), [0] + [1] * 7)

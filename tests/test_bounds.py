@@ -1,0 +1,153 @@
+"""Theory-vs-measurement: instrumented event counts against Section-4 bounds.
+
+The PRAM analyses of Section 4 predict *orders* for conflicts, atomics
+and locks; these tests pin the instrumented implementations to those
+bounds with explicit constants, so a regression in either the analysis
+evaluators or the instrumentation shows up as a mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs, boman_coloring, boruvka_mst, pagerank, sssp_delta, triangle_count,
+)
+from repro.algorithms.reference import triangle_per_vertex_reference
+from repro.generators import load_dataset
+from repro.pram import PRAM, bfs_cost, pagerank_cost, triangle_count_cost
+from tests.conftest import make_runtime
+
+
+@pytest.fixture(scope="module")
+def g():
+    return load_dataset("ljn", scale=10, seed=5)
+
+
+@pytest.fixture(scope="module")
+def gw():
+    return load_dataset("ljn", scale=10, seed=5, weighted=True)
+
+
+class TestPageRankBounds:
+    L = 4
+
+    def test_push_atomics_exactly_match_analysis(self, g):
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction="push", iterations=self.L)
+        analytic = pagerank_cost("push", PRAM.CRCW_CB, g.n, g.m,
+                                 g.max_degree, 8, L=self.L)
+        # the O(Lm) bound is tight up to the factor 2 of undirected storage
+        assert r.counters.atomics == 2 * analytic.locks
+
+    def test_pull_sync_free_as_analyzed(self, g):
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction="pull", iterations=self.L)
+        analytic = pagerank_cost("pull", PRAM.CRCW_CB, g.n, g.m,
+                                 g.max_degree, 8, L=self.L)
+        assert analytic.atomics == analytic.locks == 0
+        assert r.counters.atomics == r.counters.locks == 0
+
+    def test_reads_are_theta_Lm(self, g):
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction="pull", iterations=self.L)
+        lm = self.L * 2 * g.m
+        assert lm <= r.counters.reads <= 6 * lm
+
+    def test_work_scales_linearly_in_L(self, g):
+        rt = make_runtime(g)
+        r1 = pagerank(g, rt, direction="pull", iterations=2)
+        rt = make_runtime(g)
+        r2 = pagerank(g, rt, direction="pull", iterations=4)
+        assert r2.counters.reads == 2 * r1.counters.reads
+
+
+class TestTriangleBounds:
+    def test_push_atomics_bounded_by_m_dhat(self, g):
+        rt = make_runtime(g)
+        r = triangle_count(g, rt, direction="push")
+        analytic = triangle_count_cost("push", PRAM.CRCW_CB, g.n, g.m,
+                                       g.max_degree, 8)
+        assert 0 < r.counters.atomics <= 2 * analytic.atomics
+
+    def test_push_atomics_equal_witness_count(self, g):
+        rt = make_runtime(g)
+        r = triangle_count(g, rt, direction="push")
+        witnesses = 2 * int(triangle_per_vertex_reference(g).sum())
+        assert r.counters.faa == witnesses
+
+    def test_reads_bounded_by_m_dhat_order(self, g):
+        rt = make_runtime(g)
+        r = triangle_count(g, rt, direction="pull")
+        upper = 2 * g.m * g.max_degree  # O(m·d̂) with log probes folded in
+        assert r.counters.reads <= 8 * upper
+
+
+class TestBFSBounds:
+    def test_push_cas_at_most_m(self, g):
+        rt = make_runtime(g)
+        r = bfs(g, rt, 0, direction="push")
+        analytic = bfs_cost("push", PRAM.CRCW_CB, g.n, g.m, g.max_degree,
+                            8, D=8)
+        assert r.counters.cas <= analytic.atomics  # O(m), here <= n claims
+
+    def test_push_scans_each_edge_once(self, g):
+        """O(m) total work: every edge entry is scanned exactly once from
+        the frontier side (plus the filter merges)."""
+        rt = make_runtime(g)
+        r = bfs(g, rt, 0, direction="push")
+        reached_entries = sum(g.degree(v) for v in range(g.n)
+                              if r.level[v] >= 0)
+        # adjacency reads = scanned entries exactly
+        assert r.counters.reads >= reached_entries
+
+    def test_pull_reads_scale_with_depth(self):
+        """Pull's O(Dm) reads: deeper graphs cost proportionally more."""
+        shallow = load_dataset("ljn", scale=10, seed=5)
+        deep = load_dataset("rca", scale=10, seed=5)
+        rt = make_runtime(shallow)
+        r_shallow = bfs(shallow, rt, 0, direction="pull")
+        root = int(np.argmax(np.diff(deep.offsets)))
+        rt = make_runtime(deep)
+        r_deep = bfs(deep, rt, root, direction="pull")
+        per_edge_shallow = r_shallow.counters.reads / (
+            2 * shallow.m * max(r_shallow.iterations, 1))
+        per_edge_deep = r_deep.counters.reads / (2 * deep.m
+                                                 * max(r_deep.iterations, 1))
+        # normalizing by D·m, the two regimes agree within an order
+        assert 0.05 < per_edge_shallow / max(per_edge_deep, 1e-9) < 20
+
+
+class TestSSSPBounds:
+    def test_push_locks_at_most_relaxations(self, gw):
+        src = int(np.argmax(np.diff(gw.offsets)))
+        rt = make_runtime(gw)
+        r = sssp_delta(gw, rt, src, direction="push")
+        # one lock per improving relaxation <= l_delta relaxations per edge
+        assert r.counters.locks <= 2 * gw.m * max(r.inner_iterations, 1)
+
+    def test_pull_locks_near_2m_per_scan_round(self, gw):
+        """Table 1's pattern: pull locks track candidate edges (~2m)."""
+        src = int(np.argmax(np.diff(gw.offsets)))
+        rt = make_runtime(gw)
+        r = sssp_delta(gw, rt, src, direction="pull")
+        assert r.counters.locks >= 2 * gw.m * 0.5
+
+
+class TestColoringBounds:
+    def test_locks_bounded_by_Lm(self, g):
+        rt = make_runtime(g)
+        r = boman_coloring(g, rt, direction="push", max_colors=256)
+        assert r.counters.locks <= r.iterations * 2 * g.m
+
+
+class TestMSTBounds:
+    def test_push_cas_bounded_by_edge_scans(self, gw):
+        rt = make_runtime(gw)
+        r = boruvka_mst(gw, rt, direction="push")
+        # each iteration scans <= 2m candidate edges; CAS only on improving
+        assert r.counters.cas <= r.iterations * 2 * gw.m
+
+    def test_iterations_logarithmic(self, gw):
+        rt = make_runtime(gw)
+        r = boruvka_mst(gw, rt, direction="pull")
+        assert r.iterations <= int(np.ceil(np.log2(gw.n))) + 2

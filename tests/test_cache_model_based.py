@@ -1,0 +1,72 @@
+"""Model-based testing of the cache simulator against a reference LRU."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.machine.cache import CacheLevelSpec, _SetAssocLevel
+
+
+class _ReferenceLRU:
+    """Dead-simple per-set LRU model to check the array implementation."""
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[line] = None
+        return False
+
+
+class CacheAgainstModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        spec = CacheLevelSpec(1024, 2, 64)   # 8 sets x 2 ways
+        self.impl = _SetAssocLevel(spec)
+        self.model = _ReferenceLRU(spec.n_sets, spec.ways)
+
+    @rule(line=st.integers(0, 255))
+    def access(self, line):
+        assert self.impl.access(line) == self.model.access(line)
+        assert self.impl.misses == self.model.misses
+
+
+TestCacheAgainstModel = CacheAgainstModel.TestCase
+
+
+class TestSweeps:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 511), min_size=1, max_size=300),
+           st.sampled_from([1, 2, 4]))
+    def test_random_traces_match_model(self, trace, ways):
+        spec = CacheLevelSpec(64 * ways * 4, ways, 64)  # 4 sets
+        impl = _SetAssocLevel(spec)
+        model = _ReferenceLRU(spec.n_sets, ways)
+        for line in trace:
+            assert impl.access(line) == model.access(line)
+        assert impl.misses == model.misses
+
+    def test_capacity_scaling_reduces_misses_on_cyclic_trace(self):
+        """A cyclic working set that thrashes a small cache fits a big one."""
+        trace = list(range(12)) * 20
+        misses = {}
+        for ways in (1, 2, 16):
+            impl = _SetAssocLevel(CacheLevelSpec(ways * 4 * 64, ways, 64))
+            for line in trace:
+                impl.access(line)
+            misses[ways] = impl.misses
+        # 16 ways x 4 sets holds all 12 lines: only cold misses remain
+        assert misses[16] == 12
+        assert misses[1] > misses[16]

@@ -1,0 +1,78 @@
+"""Tests for the plain-text chart helpers."""
+
+import pytest
+
+from repro.harness.charts import bar_chart, log_bar_chart, sparkline
+from repro.harness.tables import render_series
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([1, 2, 3, 4]) == "▁▃▆█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_single(self):
+        assert len(sparkline([3])) == 1
+
+    def test_resampling_width(self):
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+        assert out[0] < out[-1]
+
+    def test_extremes_hit_range_ends(self):
+        out = sparkline([0, 100, 0])
+        assert out[1] == "█" and out[0] == "▁"
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart([("a", 10), ("b", 5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart([("a", 10), ("b", 0)], width=10)
+        assert out.splitlines()[1].count("█") == 0
+
+    def test_small_nonzero_keeps_one_block(self):
+        out = bar_chart([("a", 1000), ("b", 1)], width=10)
+        assert out.splitlines()[1].count("█") == 1
+
+    def test_empty(self):
+        assert bar_chart([]) == "(empty)"
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 1), ("a-long-label", 2)])
+        lines = out.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+
+class TestLogBarChart:
+    def test_compresses_large_spreads(self):
+        out = log_bar_chart([("mp", 1), ("rma", 1000)], width=30)
+        lines = out.splitlines()
+        assert 0 < lines[0].count("█") < lines[1].count("█") == 30
+
+    def test_equal_values_full_width(self):
+        out = log_bar_chart([("a", 7), ("b", 7)], width=5)
+        assert all(line.count("█") == 5 for line in out.splitlines())
+
+    def test_nonpositive_handled(self):
+        out = log_bar_chart([("a", 0), ("b", 10)])
+        assert out.splitlines()[0].count("█") == 0
+
+
+class TestSeriesIntegration:
+    def test_render_series_appends_sparkline(self):
+        out = render_series("s", [1, 2, 3])
+        assert out.startswith("s: 1 2 3")
+        assert "▁" in out or "█" in out
+
+    def test_non_numeric_series_safe(self):
+        assert render_series("s", ["push", "pull"]).startswith("s: push pull")

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_lists_machines_and_datasets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "XC30" in out and "Trivium" in out
+        assert "orc" in out and "rca" in out
+
+
+class TestStats:
+    def test_prints_table2_stats(self, capsys):
+        assert main(["stats", "am", "--scale", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "n " in out and "D " in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["stats", "not-a-graph"])
+
+
+class TestRun:
+    @pytest.mark.parametrize("algo,needs_direction", [
+        ("pagerank", True), ("bfs", True), ("sssp", True),
+        ("triangles", True), ("coloring", True), ("mst", True),
+        ("prim", True), ("components", True),
+    ])
+    def test_each_algorithm_runs(self, capsys, algo, needs_direction):
+        rc = main(["run", algo, "am", "--scale", "8", "--threads", "4",
+                   "--iterations", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out and "events:" in out
+
+    def test_bc_with_sampled_sources(self, capsys):
+        assert main(["run", "bc", "am", "--scale", "8", "--iterations", "4",
+                     "--threads", "4"]) == 0
+        assert "sources" in capsys.readouterr().out
+
+    def test_push_direction(self, capsys):
+        assert main(["run", "pagerank", "am", "--scale", "8",
+                     "--direction", "push", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[push]" in out
+
+    def test_machine_selection(self, capsys):
+        assert main(["run", "pagerank", "am", "--scale", "8",
+                     "--machine", "Trivium", "--iterations", "2"]) == 0
+        assert "Trivium" in capsys.readouterr().out
+
+    def test_unknown_machine_errors(self, capsys):
+        assert main(["run", "pagerank", "am", "--scale", "8",
+                     "--machine", "Cray-1"]) == 2
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "sort", "am"])
+
+
+class TestExperimentsForwarding:
+    def test_forwards_to_run_all(self, capsys):
+        assert main(["experiments", "--quick", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out

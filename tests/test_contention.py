@@ -1,0 +1,82 @@
+"""Tests for the push-write contention analysis."""
+
+import numpy as np
+import pytest
+
+from repro.generators import load_dataset, road_network
+from repro.graph import Partition1D, from_edges
+from repro.machine.contention import (
+    ContentionProfile, contention_profile, effective_atomic_cost,
+    writer_counts,
+)
+
+
+class TestWriterCounts:
+    def test_single_thread_all_one(self, comm_graph):
+        counts = writer_counts(comm_graph, Partition1D(comm_graph.n, 1))
+        deg = np.diff(comm_graph.offsets)
+        assert np.all(counts[deg > 0] == 1)
+        assert np.all(counts[deg == 0] == 0)
+
+    def test_star_center_sees_many_writers(self):
+        g = from_edges(16, [(0, i) for i in range(1, 16)])
+        counts = writer_counts(g, Partition1D(16, 4))
+        assert counts[0] == 4       # leaves span all owner blocks
+        assert np.all(counts[1:] == 1)  # each leaf touched only by 0's owner
+
+    def test_bounded_by_P_and_degree(self, comm_graph):
+        part = Partition1D(comm_graph.n, 8)
+        counts = writer_counts(comm_graph, part)
+        deg = np.diff(comm_graph.offsets)
+        assert np.all(counts <= np.minimum(8, np.maximum(deg, 1)))
+
+
+class TestProfile:
+    def test_community_graph_is_contended(self):
+        g = load_dataset("orc", scale=10)
+        prof = contention_profile(g, Partition1D(g.n, 16))
+        assert prof.mean_writers > 8
+        assert prof.contended_update_fraction > 0.9
+
+    def test_road_network_is_mostly_private(self):
+        # 8 rows per block: only the two boundary rows of each block see a
+        # second writer
+        g = road_network(32, 32, keep=1.0, seed=1, weighted=False)
+        prof = contention_profile(g, Partition1D(g.n, 4))
+        assert prof.private_fraction > 0.6
+        assert prof.contended_update_fraction < 0.5
+
+    def test_road_less_contended_than_community(self):
+        road = road_network(32, 32, keep=1.0, seed=1, weighted=False)
+        comm = load_dataset("orc", scale=10)
+        road_prof = contention_profile(road, Partition1D(road.n, 8))
+        comm_prof = contention_profile(comm, Partition1D(comm.n, 8))
+        assert (road_prof.contended_update_fraction
+                < comm_prof.contended_update_fraction / 2)
+
+    def test_as_row_keys(self):
+        g = road_network(8, 8, keep=1.0, seed=1, weighted=False)
+        row = contention_profile(g, Partition1D(g.n, 2)).as_row()
+        assert "mean writers" in row and "contended updates" in row
+
+    def test_empty_graph(self):
+        g = from_edges(4, [])
+        prof = contention_profile(g, Partition1D(4, 2))
+        assert prof.mean_writers == 0.0
+        assert prof.private_fraction == 1.0
+
+
+class TestEffectiveCost:
+    def test_mixture_endpoints(self):
+        hot = ContentionProfile(4, np.array([]), 4.0, 4, 1.0, 0.0)
+        cold = ContentionProfile(4, np.array([]), 1.0, 1, 0.0, 1.0)
+        assert effective_atomic_cost(hot, 25, 150) == 150
+        assert effective_atomic_cost(cold, 25, 150) == 25
+
+    def test_dense_graph_supports_contended_pricing(self):
+        """On the orc stand-in the effective atomic cost is close to the
+        fully-contended rate the machine models use."""
+        g = load_dataset("orc", scale=10)
+        prof = contention_profile(g, Partition1D(g.n, 16))
+        eff = effective_atomic_cost(prof, 25.0, 150.0)
+        assert eff > 0.9 * 150.0

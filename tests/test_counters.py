@@ -1,0 +1,100 @@
+"""Unit tests for the performance-counter substrate."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.counters import PerfCounters, format_count
+
+_FIELDS = [f.name for f in dataclasses.fields(PerfCounters)]
+
+
+class TestArithmetic:
+    def test_default_is_zero(self):
+        c = PerfCounters()
+        assert all(v == 0 for v in c.to_dict().values())
+
+    def test_add_is_fieldwise(self):
+        a = PerfCounters(reads=3, atomics=1, faa=1)
+        b = PerfCounters(reads=4, locks=2)
+        s = a + b
+        assert s.reads == 7 and s.atomics == 1 and s.locks == 2 and s.faa == 1
+
+    def test_iadd_mutates(self):
+        a = PerfCounters(writes=1)
+        a += PerfCounters(writes=9, barriers=1)
+        assert a.writes == 10 and a.barriers == 1
+
+    def test_sub(self):
+        a = PerfCounters(reads=10, l3_misses=5)
+        b = PerfCounters(reads=4, l3_misses=5)
+        d = a - b
+        assert d.reads == 6 and d.l3_misses == 0
+
+    def test_copy_is_independent(self):
+        a = PerfCounters(reads=1)
+        b = a.copy()
+        b.reads = 99
+        assert a.reads == 1
+
+    def test_reset(self):
+        a = PerfCounters(reads=5, cas=2, atomics=2)
+        a.reset()
+        assert all(v == 0 for v in a.to_dict().values())
+
+    def test_total(self):
+        parts = [PerfCounters(reads=i) for i in range(5)]
+        assert PerfCounters.total(parts).reads == 10
+
+    def test_total_empty(self):
+        assert PerfCounters.total([]).reads == 0
+
+    def test_scaled(self):
+        a = PerfCounters(reads=10, writes=3)
+        s = a.scaled(2.5)
+        assert s.reads == 25 and s.writes == 8  # rounds 7.5 -> 8
+
+    @given(st.lists(st.integers(0, 10**9), min_size=len(_FIELDS),
+                    max_size=len(_FIELDS)),
+           st.lists(st.integers(0, 10**9), min_size=len(_FIELDS),
+                    max_size=len(_FIELDS)))
+    def test_add_sub_roundtrip(self, xs, ys):
+        a = PerfCounters(**dict(zip(_FIELDS, xs)))
+        b = PerfCounters(**dict(zip(_FIELDS, ys)))
+        assert ((a + b) - b).to_dict() == a.to_dict()
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_total_matches_manual(self, x, y):
+        assert PerfCounters.total(
+            [PerfCounters(reads=x), PerfCounters(reads=y)]).reads == x + y
+
+
+class TestFormatCount:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0"),
+        (999, "999"),
+        (1000, "1k"),
+        (234_000_000, "234M"),
+        (5_533_000, "5.53M"),
+        (1_066_000_000, "1.07B"),
+        (3_169_000_000_000, "3.17T"),
+        (42_320, "42.3k"),
+    ])
+    def test_paper_style(self, value, expected):
+        assert format_count(value) == expected
+
+    def test_negative(self):
+        assert format_count(-234_000_000) == "-234M"
+
+    def test_small_float(self):
+        assert format_count(0.5) == "0.5"
+
+    @given(st.integers(0, 10**15))
+    def test_never_raises_and_nonempty(self, v):
+        out = format_count(v)
+        assert isinstance(out, str) and out
+
+    def test_formatted_dict(self):
+        c = PerfCounters(reads=234_000_000)
+        assert c.formatted()["reads"] == "234M"

@@ -1,0 +1,126 @@
+"""Tests for distributed BFS, approximate BC, and GAS PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bc_approx import approx_bc_vertex
+from repro.algorithms.dm_bfs import dm_bfs
+from repro.algorithms.reference import bc_reference, bfs_reference
+from repro.gas.programs import gas_pagerank
+from repro.generators import load_dataset
+from repro.graph.validate import validate_bfs_tree
+from repro.machine.cost_model import XC40
+from repro.runtime.dm import DMRuntime
+from tests.conftest import make_runtime
+
+
+def make_dm(n, P=4):
+    return DMRuntime(n, P=P, machine=XC40.scaled(64))
+
+
+class TestDMBFS:
+    @pytest.mark.parametrize("variant", ["push", "pull", "switching"])
+    def test_levels_correct_and_certified(self, comm_graph, variant):
+        root = int(np.argmax(np.diff(comm_graph.offsets)))
+        ref = bfs_reference(comm_graph, root)
+        rt = make_dm(comm_graph.n)
+        r = dm_bfs(comm_graph, rt, root, variant=variant)
+        assert np.array_equal(r.level, ref)
+        validate_bfs_tree(comm_graph, root, r.parent, r.level)
+
+    def test_switching_beats_both_on_community_graph(self):
+        g = load_dataset("ljn", scale=10)
+        root = int(np.argmax(np.diff(g.offsets)))
+        times = {}
+        for v in ("push", "pull", "switching"):
+            rt = make_dm(g.n)
+            times[v] = dm_bfs(g, rt, root, variant=v).time
+        assert times["switching"] <= min(times["push"], times["pull"])
+
+    def test_switching_stays_push_on_road_network(self):
+        from repro.generators import road_network
+        g = road_network(48, 48, seed=3, weighted=False)  # thin frontiers
+        root = int(np.argmax(np.diff(g.offsets)))
+        rt = make_dm(g.n)
+        r = dm_bfs(g, rt, root, variant="switching")
+        assert "pull" not in r.directions
+
+    def test_pull_allgathers_bitmaps(self, comm_graph):
+        root = int(np.argmax(np.diff(comm_graph.offsets)))
+        rt = make_dm(comm_graph.n)
+        pull = dm_bfs(comm_graph, rt, root, variant="pull")
+        rt = make_dm(comm_graph.n)
+        push = dm_bfs(comm_graph, rt, root, variant="push")
+        # P*(P-1) bitmap messages per level dominate pull's message count
+        assert pull.counters.messages > push.counters.messages
+
+    def test_frontier_sizes_account_reached(self, comm_graph):
+        root = int(np.argmax(np.diff(comm_graph.offsets)))
+        rt = make_dm(comm_graph.n)
+        r = dm_bfs(comm_graph, rt, root, variant="push")
+        assert sum(r.frontier_sizes) == int((r.level >= 0).sum())
+
+    def test_validation(self, comm_graph):
+        rt = make_dm(comm_graph.n)
+        with pytest.raises(ValueError):
+            dm_bfs(comm_graph, rt, 0, variant="sideways")
+        with pytest.raises(ValueError):
+            dm_bfs(comm_graph, rt, -1)
+
+
+class TestApproxBC:
+    def test_exhaustive_sampling_is_exact(self, pa_graph):
+        exact = bc_reference(pa_graph)
+        v = int(np.argmax(exact))
+        rt = make_runtime(pa_graph)
+        r = approx_bc_vertex(pa_graph, rt, v, c=10**9)  # never stop early
+        assert r.samples == pa_graph.n and not r.stopped_early
+        assert r.estimate == pytest.approx(exact[v], rel=1e-9)
+
+    def test_high_centrality_vertex_stops_early(self, comm_graph):
+        exact = bc_reference(comm_graph)
+        hub = int(np.argmax(exact))
+        rt = make_runtime(comm_graph)
+        r = approx_bc_vertex(comm_graph, rt, hub, c=0.5, seed=3)
+        assert r.stopped_early and r.samples < comm_graph.n
+
+    def test_estimate_within_factor_for_hub(self, comm_graph):
+        exact = bc_reference(comm_graph)
+        hub = int(np.argmax(exact))
+        rt = make_runtime(comm_graph)
+        r = approx_bc_vertex(comm_graph, rt, hub, c=2.0, seed=1)
+        assert 0.3 * exact[hub] <= r.estimate <= 3.0 * exact[hub]
+
+    def test_adaptive_cheaper_than_exact(self, comm_graph):
+        exact = bc_reference(comm_graph)
+        hub = int(np.argmax(exact))
+        rt = make_runtime(comm_graph)
+        cheap = approx_bc_vertex(comm_graph, rt, hub, c=0.5, seed=1)
+        rt = make_runtime(comm_graph)
+        full = approx_bc_vertex(comm_graph, rt, hub, c=10**9)
+        assert cheap.time < full.time / 2
+
+    def test_validation(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        with pytest.raises(ValueError):
+            approx_bc_vertex(comm_graph, rt, -1)
+        with pytest.raises(ValueError):
+            approx_bc_vertex(comm_graph, rt, 0, c=0.0)
+
+
+class TestGASPageRank:
+    def test_pull_converges_to_power_iteration(self, pa_graph):
+        from repro.algorithms.reference import pagerank_reference
+        st = gas_pagerank(pa_graph, mode="pull", max_iterations=300)
+        ranks = np.array([st.values[v] for v in range(pa_graph.n)])
+        assert np.allclose(ranks, pagerank_reference(pa_graph, 300),
+                           atol=1e-7)
+
+    def test_tolerance_controls_iterations(self, pa_graph):
+        loose = gas_pagerank(pa_graph, mode="pull", tol=1e-3)
+        tight = gas_pagerank(pa_graph, mode="pull", tol=1e-12)
+        assert loose.iterations < tight.iterations
+
+    def test_gathers_counted(self, pa_graph):
+        st = gas_pagerank(pa_graph, mode="pull", tol=1e-6)
+        assert st.gathers > 0 and st.remote_writes == 0

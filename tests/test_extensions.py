@@ -1,0 +1,186 @@
+"""Tests for the extension modules: connected components, weighted BC,
+distributed SSSP, and the HT region model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.algorithms.bc_weighted import betweenness_centrality_weighted
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.dm_sssp import dm_sssp_delta
+from repro.algorithms.reference import sssp_reference
+from repro.generators import erdos_renyi, load_dataset, road_network
+from repro.graph import from_edges, to_networkx
+from repro.machine.cost_model import XC40
+from repro.runtime.dm import DMRuntime
+from tests.conftest import make_runtime
+
+
+def _component_sets(labels):
+    groups = {}
+    for v, l in enumerate(labels):
+        groups.setdefault(int(l), set()).add(v)
+    return {frozenset(c) for c in groups.values()}
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    @pytest.mark.parametrize("pj", [False, True])
+    def test_matches_networkx(self, road_graph, direction, pj):
+        truth = {frozenset(c)
+                 for c in nx.connected_components(to_networkx(road_graph))}
+        rt = make_runtime(road_graph,
+                          check_ownership=(direction == "pull" and not pj))
+        r = connected_components(road_graph, rt, direction=direction,
+                                 pointer_jumping=pj)
+        assert _component_sets(r.labels) == truth
+        assert r.n_components == len(truth)
+
+    def test_labels_are_component_minima(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        r = connected_components(tiny_graph, rt)
+        assert list(r.labels) == [0, 0, 0, 0, 0, 5]
+
+    def test_pointer_jumping_cuts_rounds(self):
+        g = road_network(24, 24, seed=2, weighted=False)
+        rt = make_runtime(g)
+        plain = connected_components(g, rt, direction="push")
+        rt = make_runtime(g)
+        pj = connected_components(g, rt, direction="push",
+                                  pointer_jumping=True)
+        assert pj.rounds < plain.rounds / 2
+        assert np.array_equal(pj.labels, plain.labels)
+
+    def test_push_atomics_pull_none(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        push = connected_components(comm_graph, rt, direction="push")
+        rt = make_runtime(comm_graph)
+        pull = connected_components(comm_graph, rt, direction="pull")
+        assert push.counters.cas > 0 and pull.counters.atomics == 0
+        assert np.array_equal(push.labels, pull.labels)
+
+    def test_directed_rejected(self):
+        g = from_edges(3, [(0, 1)], directed=True)
+        rt = make_runtime(g)
+        with pytest.raises(ValueError):
+            connected_components(g, rt)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(60, d_bar=1.5, seed=seed)
+        truth = {frozenset(c)
+                 for c in nx.connected_components(to_networkx(g))}
+        rt = make_runtime(g)
+        r = connected_components(g, rt, direction="push")
+        assert _component_sets(r.labels) == truth
+
+
+class TestWeightedBC:
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_matches_networkx(self, er_weighted, direction):
+        nxbc = nx.betweenness_centrality(to_networkx(er_weighted),
+                                         weight="weight", normalized=False)
+        ref = np.array([nxbc[i] for i in range(er_weighted.n)])
+        rt = make_runtime(er_weighted)
+        r = betweenness_centrality_weighted(er_weighted, rt,
+                                            direction=direction)
+        assert np.allclose(r.bc, ref, atol=1e-8)
+
+    def test_weighted_differs_from_hopcount(self, tiny_weighted):
+        from repro.algorithms.bc import betweenness_centrality
+        rt = make_runtime(tiny_weighted)
+        weighted = betweenness_centrality_weighted(tiny_weighted, rt)
+        rt = make_runtime(tiny_weighted)
+        hops = betweenness_centrality(tiny_weighted, rt)
+        # edge (3,0) has weight 5: shortest paths route around it
+        assert not np.allclose(weighted.bc, hops.bc)
+
+    def test_sampled_sources(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = betweenness_centrality_weighted(er_weighted, rt,
+                                            sources=[0, 1, 2])
+        assert r.n_sources == 3
+
+    def test_unweighted_rejected(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        with pytest.raises(ValueError):
+            betweenness_centrality_weighted(tiny_graph, rt)
+
+    def test_phase_times(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = betweenness_centrality_weighted(er_weighted, rt, sources=4)
+        assert r.forward_time > 0 and r.backward_time > 0
+
+
+class TestDMSSSP:
+    @pytest.mark.parametrize("variant", ["push", "pull"])
+    def test_matches_dijkstra(self, er_weighted, variant):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        ref = sssp_reference(er_weighted, src)
+        rt = DMRuntime(er_weighted.n, P=4, machine=XC40.scaled(64))
+        r = dm_sssp_delta(er_weighted, rt, src, variant=variant)
+        fin = np.isfinite(ref)
+        assert np.array_equal(np.isfinite(r.dist), fin)
+        assert np.allclose(r.dist[fin], ref[fin])
+
+    def test_pull_needs_more_messages(self, er_weighted):
+        """Request+reply per inner iteration doubles pull's message count."""
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        out = {}
+        for variant in ("push", "pull"):
+            rt = DMRuntime(er_weighted.n, P=4, machine=XC40.scaled(64))
+            out[variant] = dm_sssp_delta(er_weighted, rt, src,
+                                         variant=variant)
+        assert out["pull"].messages > out["push"].messages
+        assert out["push"].epochs == out["pull"].epochs
+
+    def test_on_road_network(self, road_graph):
+        src = int(np.argmax(np.diff(road_graph.offsets)))
+        ref = sssp_reference(road_graph, src)
+        rt = DMRuntime(road_graph.n, P=4, machine=XC40.scaled(64))
+        r = dm_sssp_delta(road_graph, rt, src, variant="push")
+        fin = np.isfinite(ref)
+        assert np.allclose(r.dist[fin], ref[fin])
+
+    def test_validation(self, er_weighted):
+        rt = DMRuntime(er_weighted.n, P=2, machine=XC40.scaled(64))
+        with pytest.raises(ValueError):
+            dm_sssp_delta(er_weighted, rt, 0, variant="teleport")
+        with pytest.raises(ValueError):
+            dm_sssp_delta(er_weighted, rt, -5)
+        with pytest.raises(ValueError):
+            dm_sssp_delta(er_weighted, rt, 0, delta=-1.0)
+
+
+class TestHyperThreading:
+    def test_ht_speedup_in_model_range(self):
+        from repro.algorithms.pagerank import pagerank
+        from repro.harness.config import QUICK
+        g = load_dataset("orc", scale=10)
+        cores = QUICK.machine.cores
+        times = {}
+        for P in (cores, 2 * cores):
+            rt = QUICK.with_(P=P).sm_runtime(g)
+            times[P] = pagerank(g, rt, direction="pull", iterations=2).time
+        speedup = times[cores] / times[2 * cores]
+        # bounded by 2/smt_yield of perfect split plus barrier noise
+        assert 1.0 < speedup <= 2.0
+
+    def test_region_span_topology(self, er_graph):
+        rt = make_runtime(er_graph, P=4)
+        # P=4 on an 8-core machine: pure max
+        assert rt._region_span([1.0, 5.0, 2.0, 3.0]) == 5.0
+
+    def test_region_span_smt_sharing(self, er_graph):
+        rt = make_runtime(er_graph, P=16)  # XC30: 8 cores
+        spans = [1.0] * 16
+        # each core runs two siblings: 2 / smt_yield
+        assert rt._region_span(spans) == pytest.approx(
+            2.0 / rt.machine.smt_yield)
+
+    def test_empty_region(self, er_graph):
+        rt = make_runtime(er_graph, P=2)
+        assert rt._region_span([]) == 0.0

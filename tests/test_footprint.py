@@ -1,0 +1,40 @@
+"""Tests for the representation-footprint accounting."""
+
+import pytest
+
+from repro.graph.footprint import Footprint, footprint
+
+
+class TestFootprint:
+    def test_cell_counts_match_paper_formulas(self, comm_graph):
+        f = footprint(comm_graph, P=8)
+        assert f.csr_cells == comm_graph.n + 2 * comm_graph.m
+        assert f.pa_cells == 2 * comm_graph.n + 2 * comm_graph.m
+
+    def test_pa_overhead_is_n_cells(self, comm_graph):
+        f = footprint(comm_graph, P=8)
+        assert f.pa_cells - f.csr_cells == comm_graph.n
+        assert 0 < f.pa_overhead_fraction < 1
+
+    def test_weighted_graph_counts_weights(self, tiny_weighted, tiny_graph):
+        assert footprint(tiny_weighted).weights_cells == 2 * tiny_weighted.m
+        assert footprint(tiny_graph).weights_cells == 0
+
+    def test_mp_bound_shrinks_with_P(self, comm_graph):
+        assert (footprint(comm_graph, P=32).mp_buffer_cells_bound
+                < footprint(comm_graph, P=4).mp_buffer_cells_bound)
+
+    def test_rma_is_constant(self, comm_graph):
+        assert footprint(comm_graph, P=4).rma_buffer_cells == 1
+
+    def test_bytes(self, comm_graph):
+        f = footprint(comm_graph)
+        assert f.csr_bytes == 8 * f.csr_cells
+
+    def test_as_row(self, comm_graph):
+        row = footprint(comm_graph).as_row()
+        assert "PA overhead" in row and "CSR cells" in row
+
+    def test_invalid_P(self, comm_graph):
+        with pytest.raises(ValueError):
+            footprint(comm_graph, P=0)

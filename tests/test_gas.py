@@ -1,0 +1,88 @@
+"""Tests for the Gather-Apply-Scatter layer (Section 7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import is_proper_coloring, sssp_reference
+from repro.gas import (
+    ColoringProgram, GASEngine, SSSPProgram, gas_coloring, gas_sssp,
+)
+from repro.gas.engine import VertexProgram
+
+
+def _values_array(stats, n):
+    return np.array([stats.values[v] for v in range(n)])
+
+
+class TestSSSPProgram:
+    @pytest.mark.parametrize("mode", ["push", "pull"])
+    def test_distances_match_dijkstra(self, tiny_weighted, mode):
+        st = gas_sssp(tiny_weighted, 0, mode=mode)
+        ref = sssp_reference(tiny_weighted, 0)
+        got = _values_array(st, tiny_weighted.n)
+        fin = np.isfinite(ref)
+        assert np.allclose(got[fin], ref[fin])
+        assert np.all(np.isinf(got[~fin]))
+
+    @pytest.mark.parametrize("mode", ["push", "pull"])
+    def test_on_random_graph(self, er_weighted, mode):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        st = gas_sssp(er_weighted, src, mode=mode)
+        ref = sssp_reference(er_weighted, src)
+        got = _values_array(st, er_weighted.n)
+        fin = np.isfinite(ref)
+        assert np.allclose(got[fin], ref[fin])
+
+    def test_push_counts_remote_writes(self, tiny_weighted):
+        st = gas_sssp(tiny_weighted, 0, mode="push")
+        assert st.remote_writes > 0
+
+    def test_pull_does_not(self, tiny_weighted):
+        st = gas_sssp(tiny_weighted, 0, mode="pull")
+        assert st.remote_writes == 0
+        assert st.gathers > 0
+
+
+class TestColoringProgram:
+    @pytest.mark.parametrize("mode", ["push", "pull"])
+    def test_proper(self, comm_graph, mode):
+        st = gas_coloring(comm_graph, mode=mode)
+        colors = _values_array(st, comm_graph.n)
+        assert is_proper_coloring(comm_graph, colors)
+
+    @pytest.mark.parametrize("mode", ["push", "pull"])
+    def test_sparse_graph(self, road_graph, mode):
+        st = gas_coloring(road_graph, mode=mode)
+        colors = _values_array(st, road_graph.n)
+        assert is_proper_coloring(road_graph, colors)
+
+    def test_terminates(self, pa_graph):
+        st = gas_coloring(pa_graph, mode="pull")
+        assert st.iterations < 4 * pa_graph.n + 16
+
+
+class TestEngine:
+    def test_invalid_mode(self, tiny_graph):
+        engine = GASEngine(tiny_graph, SSSPProgram(0))
+        with pytest.raises(ValueError):
+            engine.run(mode="diagonal")
+
+    def test_max_iterations_cap(self, comm_graph):
+        engine = GASEngine(comm_graph, ColoringProgram())
+        st = engine.run(mode="pull", max_iterations=1)
+        assert st.iterations == 1
+
+    def test_abstract_hooks_raise(self):
+        prog = VertexProgram()
+        for call in (lambda: prog.init_value(0),
+                     lambda: prog.gather(0, 1, 1.0, None),
+                     lambda: prog.sum(1, 2),
+                     lambda: prog.identity(),
+                     lambda: prog.apply(0, None, None)):
+            with pytest.raises(NotImplementedError):
+                call()
+
+    def test_scatter_condition_default(self):
+        prog = VertexProgram()
+        assert prog.scatter_condition(0, 1, 2)
+        assert not prog.scatter_condition(0, 1, 1)

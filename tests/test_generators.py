@@ -1,0 +1,152 @@
+"""Unit tests for the graph generators and dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    DATASETS, community_graph, dataset_table, erdos_renyi, grid_graph,
+    kronecker, load_dataset, purchase_graph, rmat, road_network,
+)
+from repro.graph.properties import approx_diameter, graph_stats
+
+
+def _check_valid_undirected(g):
+    src = np.repeat(np.arange(g.n), np.diff(g.offsets))
+    assert not np.any(src == g.adj), "self loop"
+    for v in range(0, g.n, max(1, g.n // 50)):
+        for w in g.neighbors(v):
+            assert g.has_edge(int(w), v), "asymmetric edge"
+
+
+class TestErdosRenyi:
+    def test_basic(self):
+        g = erdos_renyi(500, d_bar=4.0, seed=1)
+        assert g.n == 500
+        assert 0.7 * 2000 < g.m <= 2000
+        _check_valid_undirected(g)
+
+    def test_deterministic(self):
+        assert erdos_renyi(100, 3.0, seed=5) == erdos_renyi(100, 3.0, seed=5)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(100, 3.0, seed=5) != erdos_renyi(100, 3.0, seed=6)
+
+    def test_weighted(self):
+        g = erdos_renyi(100, 3.0, seed=1, weighted=True)
+        assert g.weights is not None and np.all(g.weights >= 1.0)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(1, 2.0)
+
+
+class TestRMAT:
+    def test_size_and_validity(self):
+        g = rmat(9, d_bar=8.0, seed=2)
+        assert g.n == 512
+        _check_valid_undirected(g)
+
+    def test_skewed_degrees(self):
+        """R-MAT must produce a heavier tail than Erdős–Rényi."""
+        gr = rmat(10, d_bar=8.0, seed=2)
+        ge = erdos_renyi(1024, d_bar=8.0, seed=2)
+        assert gr.max_degree > 2 * ge.max_degree
+
+    def test_kronecker_alias(self):
+        assert kronecker(8, d_bar=4.0, seed=3) == rmat(8, d_bar=4.0, seed=3)
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat(8, a=0.9, b=0.1, c=0.1)
+
+
+class TestRoad:
+    def test_grid(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20 and g.m == 4 * 4 + 3 * 5
+        _check_valid_undirected(g)
+
+    def test_road_network_regime(self):
+        g = road_network(32, 32, seed=4)
+        s = graph_stats(g)
+        assert s.d_bar < 2.0
+        assert s.diameter > 20
+
+    def test_keep_bounds(self):
+        with pytest.raises(ValueError):
+            road_network(4, 4, keep=0.0)
+
+    def test_weighted_by_default(self):
+        assert road_network(8, 8).weights is not None
+
+
+class TestRealWorld:
+    def test_community_regime(self):
+        g = community_graph(512, d_bar=20.0, seed=1)
+        s = graph_stats(g)
+        assert s.d_bar > 10
+        assert s.diameter <= 6
+        _check_valid_undirected(g)
+
+    def test_community_has_triangles(self):
+        import networkx as nx
+        from repro.graph import to_networkx
+        g = community_graph(256, d_bar=15.0, seed=1)
+        assert sum(nx.triangles(to_networkx(g)).values()) > 100
+
+    def test_purchase_regime(self):
+        g = purchase_graph(512, seed=1)
+        s = graph_stats(g)
+        assert 2.0 < s.d_bar < 5.0
+        _check_valid_undirected(g)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            community_graph(2)
+        with pytest.raises(ValueError):
+            purchase_graph(3, edges_per_vertex=3)
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        assert {"orc", "pok", "ljn", "am", "rca", "rmat", "er"} <= set(DATASETS)
+
+    def test_load_memoized(self):
+        a = load_dataset("ljn", scale=9)
+        b = load_dataset("ljn", scale=9)
+        assert a is b
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_table_matches_paper_ordering(self):
+        rows = dataset_table(scale=10)
+        d = {r["ID"]: r for r in rows}
+        assert d["orc"]["d̄"] > d["pok"]["d̄"] > d["ljn"]["d̄"]
+        assert d["rca"]["D"] > d["am"]["D"] > d["orc"]["D"]
+
+    def test_weighted_variant(self):
+        g = load_dataset("rca", scale=9, weighted=True)
+        assert g.weights is not None
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        from repro.graph import from_edges
+        g = from_edges(10, [(i, i + 1) for i in range(9)])
+        assert approx_diameter(g) == 9
+
+    def test_empty(self):
+        from repro.graph import from_edges
+        assert approx_diameter(from_edges(3, [])) == 0
+
+    def test_lower_bounds_true_diameter(self):
+        import networkx as nx
+        from repro.graph import to_networkx
+        g = community_graph(128, d_bar=6.0, seed=2)
+        nxg = to_networkx(g)
+        comp = max(nx.connected_components(nxg), key=len)
+        true_d = nx.diameter(nxg.subgraph(comp))
+        assert approx_diameter(g) <= true_d
+        assert approx_diameter(g) >= true_d - 2

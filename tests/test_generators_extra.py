@@ -1,0 +1,87 @@
+"""Tests for the extra synthetic families."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.generators import (
+    barabasi_albert, bipartite_random, erdos_renyi, watts_strogatz,
+)
+from repro.graph import to_networkx
+from repro.graph.partition import Partition1D
+from repro.graph.partition_strategies import edge_cut
+from repro.graph.properties import approx_diameter
+from repro.strategies.partition_awareness import pa_atomics_bounds
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_structure(self):
+        g = watts_strogatz(50, k=4, rewire=0.0, seed=1)
+        assert g.m == 100  # n * k / 2
+        assert set(int(w) for w in g.neighbors(0)) == {1, 2, 48, 49}
+
+    def test_rewiring_shrinks_diameter(self):
+        ring = watts_strogatz(300, k=4, rewire=0.0, seed=1)
+        small = watts_strogatz(300, k=4, rewire=0.3, seed=1)
+        assert approx_diameter(small) < approx_diameter(ring) / 2
+
+    def test_clustering_above_er(self):
+        ws = watts_strogatz(200, k=6, rewire=0.05, seed=2)
+        er = erdos_renyi(200, d_bar=3.0, seed=2)
+        assert (nx.average_clustering(to_networkx(ws))
+                > nx.average_clustering(to_networkx(er)) + 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=3)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=4, rewire=1.5)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, k=4)
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(200, attach=2, seed=1)
+        assert g.n == 200
+        assert g.m <= 2 * (200 - 2)
+
+    def test_heavy_tail(self):
+        ba = barabasi_albert(400, attach=2, seed=3)
+        er = erdos_renyi(400, d_bar=2.0, seed=3)
+        assert ba.max_degree > 2 * er.max_degree
+
+    def test_connected(self):
+        g = barabasi_albert(100, attach=2, seed=1)
+        assert nx.is_connected(to_networkx(g))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(2, attach=2)
+
+
+class TestBipartite:
+    def test_every_edge_crosses(self):
+        g = bipartite_random(40, 60, d_bar=4.0, seed=1)
+        for v, w in g.edges():
+            assert (v < 40) != (w < 40)
+
+    def test_is_bipartite(self):
+        g = bipartite_random(30, 30, seed=2)
+        assert nx.is_bipartite(to_networkx(g))
+
+    def test_pa_worst_case_bound_attained(self):
+        """The Section-5 upper bound (2m atomics) is tight when the two
+        sides are owned by different threads."""
+        g = bipartite_random(64, 64, d_bar=4.0, seed=3)
+        lo, actual, hi = pa_atomics_bounds(g, 2)
+        assert actual == hi == 2 * g.m
+
+    def test_cut_equals_2m(self):
+        g = bipartite_random(64, 64, d_bar=4.0, seed=3)
+        assert edge_cut(g, Partition1D(g.n, 2)) == 2 * g.m
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bipartite_random(0, 5)

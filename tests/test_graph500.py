@@ -1,0 +1,58 @@
+"""Tests for the Graph500-style BFS benchmark kernel."""
+
+import pytest
+
+from repro.harness.config import QUICK
+from repro.harness.graph500 import Graph500Result, report, run_graph500
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_graph500(QUICK, scale=9, n_roots=4)
+
+
+class TestKernels:
+    def test_all_roots_validated(self, result):
+        assert result.validated == len(result.roots) == 4
+
+    def test_teps_positive(self, result):
+        assert all(t > 0 for t in result.teps)
+
+    def test_construction_time_positive(self, result):
+        assert result.construction_time > 0
+
+    def test_roots_have_degree(self, result):
+        from repro.generators.kronecker import rmat
+        import numpy as np
+        g = rmat(9, d_bar=16.0, seed=QUICK.seed)
+        deg = np.diff(g.offsets)
+        assert all(deg[r] > 0 for r in result.roots)
+
+    def test_deterministic(self):
+        a = run_graph500(QUICK, scale=8, n_roots=3)
+        b = run_graph500(QUICK, scale=8, n_roots=3)
+        assert a.teps == b.teps and a.roots == b.roots
+
+    def test_pull_direction_also_validates(self):
+        r = run_graph500(QUICK, scale=8, n_roots=2, direction="pull")
+        assert r.validated == 2
+
+    def test_push_teps_beats_pull_on_rmat(self):
+        push = run_graph500(QUICK, scale=9, n_roots=3, direction="push")
+        pull = run_graph500(QUICK, scale=9, n_roots=3, direction="pull")
+        assert push.harmonic_mean_teps != pull.harmonic_mean_teps
+
+
+class TestAggregation:
+    def test_harmonic_mean(self):
+        r = Graph500Result(8, 16.0, "push", 1, 1, 0.0, teps=[2.0, 2.0])
+        assert r.harmonic_mean_teps == pytest.approx(2.0)
+        r2 = Graph500Result(8, 16.0, "push", 1, 1, 0.0, teps=[1.0, 3.0])
+        assert r2.harmonic_mean_teps == pytest.approx(1.5)
+
+    def test_harmonic_mean_empty(self):
+        assert Graph500Result(8, 16.0, "push", 1, 1, 0.0).harmonic_mean_teps == 0.0
+
+    def test_report_renders(self, result):
+        text = report(result)
+        assert "harmonic mean" in text and "kernel 1" in text

@@ -1,0 +1,108 @@
+"""Cross-layer integration tests.
+
+One graph flows through every execution substrate (instrumented SM
+runtime, simulated DM machine, algebraic layer, GAS engine) and all
+paths must agree on the mathematical result -- the strongest internal
+consistency check the repo has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality, bfs, boman_coloring, boruvka_mst, pagerank,
+    sssp_delta, triangle_count,
+)
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.algorithms.dm_triangle import dm_triangle_count
+from repro.algorithms.reference import is_proper_coloring
+from repro.gas import gas_sssp
+from repro.generators import load_dataset
+from repro.la import bellman_ford_la, bfs_la, pagerank_la
+from repro.machine.cost_model import XC40
+from repro.runtime.dm import DMRuntime
+from tests.conftest import make_runtime
+
+
+@pytest.fixture(scope="module")
+def g():
+    return load_dataset("ljn", scale=9, seed=7)
+
+
+@pytest.fixture(scope="module")
+def gw():
+    return load_dataset("ljn", scale=9, seed=7, weighted=True)
+
+
+class TestPageRankEverywhere:
+    def test_four_paths_agree(self, g):
+        rt = make_runtime(g, P=4)
+        sm = pagerank(g, rt, direction="pull", iterations=6).ranks
+        dm_rt = DMRuntime(g.n, P=4, machine=XC40.scaled(64))
+        dm = dm_pagerank(g, dm_rt, variant="mp", iterations=6).ranks
+        la, _ = pagerank_la(g, 6, layout="csr")
+        la2, _ = pagerank_la(g, 6, layout="csc")
+        assert np.allclose(sm, dm, atol=1e-12)
+        assert np.allclose(sm, la, atol=1e-12)
+        assert np.allclose(sm, la2, atol=1e-12)
+
+
+class TestTrianglesEverywhere:
+    def test_sm_and_dm_agree(self, g):
+        rt = make_runtime(g, P=4)
+        sm = triangle_count(g, rt, direction="pull").per_vertex
+        dm_rt = DMRuntime(g.n, P=4, machine=XC40.scaled(64))
+        dm = dm_triangle_count(g, dm_rt, variant="rma-push").per_vertex
+        assert np.array_equal(sm, dm)
+
+
+class TestTraversalsEverywhere:
+    def test_bfs_matches_la(self, g):
+        root = int(np.argmax(np.diff(g.offsets)))
+        rt = make_runtime(g, P=4)
+        sm = bfs(g, rt, root, direction="push").level
+        la, _ = bfs_la(g, root, layout="csc")
+        assert np.array_equal(sm, la)
+
+    def test_sssp_three_ways(self, gw):
+        src = int(np.argmax(np.diff(gw.offsets)))
+        rt = make_runtime(gw, P=4)
+        delta = sssp_delta(gw, rt, src, direction="push").dist
+        bf, _ = bellman_ford_la(gw, src)
+        gas = gas_sssp(gw, src, mode="push")
+        gas_d = np.array([gas.values[v] for v in range(gw.n)])
+        fin = np.isfinite(delta)
+        assert np.array_equal(np.isfinite(bf), fin)
+        assert np.allclose(bf[fin], delta[fin])
+        assert np.allclose(gas_d[fin], delta[fin])
+
+
+class TestWholePipeline:
+    def test_analysis_pipeline_runs(self, gw):
+        """A small end-to-end 'analyst workflow' touching every algorithm."""
+        rt = make_runtime(gw, P=4)
+        pr = pagerank(gw, rt, direction="pull", iterations=4)
+        hub = int(np.argmax(pr.ranks))
+        r_bfs = bfs(gw, rt, hub, direction="push")
+        r_sssp = sssp_delta(gw, rt, hub, direction="push")
+        r_bc = betweenness_centrality(gw, rt, direction="pull", sources=4)
+        r_tc = triangle_count(gw, rt, direction="pull")
+        r_col = boman_coloring(gw, rt, direction="push")
+        r_mst = boruvka_mst(gw, rt, direction="pull")
+        # hop distance lower-bounds weighted distance / max weight
+        reach = r_bfs.level >= 0
+        assert np.array_equal(reach, np.isfinite(r_sssp.dist))
+        assert is_proper_coloring(gw, r_col.colors)
+        assert r_bc.bc.max() > 0 and r_tc.total > 0
+        assert len(r_mst.edges) <= gw.n - 1
+        # the shared runtime accumulated time monotonically
+        assert rt.time > 0
+        total = rt.total_counters()
+        assert total.reads > 0 and total.barriers > 0
+
+    def test_counters_partition_by_thread(self, g):
+        rt = make_runtime(g, P=4)
+        pagerank(g, rt, direction="pull", iterations=2)
+        per_thread = [c.reads for c in rt.thread_counters]
+        assert sum(per_thread) == rt.total_counters().reads
+        assert all(r > 0 for r in per_thread)

@@ -1,0 +1,210 @@
+"""Unit tests for the instrumented-memory layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cache import CacheHierarchySpec, CacheLevelSpec, TLBSpec
+from repro.machine.counters import PerfCounters
+from repro.machine.memory import CacheSimMemory, CountingMemory, MemoryModel
+
+
+def small_hier() -> CacheHierarchySpec:
+    return CacheHierarchySpec(
+        l1=CacheLevelSpec(1024, 2), l2=CacheLevelSpec(4096, 4),
+        l3=CacheLevelSpec(16384, 4), tlb=TLBSpec(4, 4096))
+
+
+class TestRegistration:
+    def test_handles_are_stable(self):
+        mem = CountingMemory()
+        h1 = mem.register("x", np.zeros(10))
+        h2 = mem.register("x", np.zeros(99))
+        assert h1 is h2
+
+    def test_page_aligned_and_disjoint(self):
+        mem = CountingMemory()
+        a = mem.register("a", np.zeros(1000))
+        b = mem.register("b", np.zeros(1000))
+        assert a.base % 4096 == 0 and b.base % 4096 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_register_by_size(self):
+        mem = CountingMemory()
+        h = mem.register("s", 100, 4)
+        assert h.size == 100 and h.itemsize == 4 and h.nbytes == 400
+
+    def test_addr(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(10))
+        assert np.array_equal(h.addr([0, 2]), [h.base, h.base + 16])
+
+
+class TestCountingMemory:
+    def test_read_counts(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.read(h, idx=np.arange(7))
+        mem.read(h, count=3)
+        mem.read(h, idx=5)
+        assert mem.counters.reads == 11
+
+    def test_write_counts(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.write(h, count=4)
+        assert mem.counters.writes == 4
+
+    def test_faa_counts(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.faa(h, idx=np.arange(5))
+        c = mem.counters
+        assert c.atomics == 5 and c.faa == 5 and c.cas == 0
+        assert c.reads == 5 and c.writes == 5
+
+    def test_cas_failures_do_not_write(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.cas(h, count=10, successes=3)
+        assert mem.counters.cas == 10 and mem.counters.writes == 3
+
+    def test_batched_atomics_tracked(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.cas(h, count=4, batched=True)
+        mem.faa(h, count=2, batched=True)
+        mem.cas(h, count=1)
+        assert mem.counters.atomics_batched == 6
+        assert mem.counters.atomics == 7
+
+    def test_lock_counts(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(100))
+        mem.lock(h, count=3)
+        c = mem.counters
+        assert c.locks == 3 and c.reads == 3 and c.writes == 3
+
+    def test_branches_and_flops(self):
+        mem = CountingMemory()
+        mem.branch_cond(5)
+        mem.branch_uncond(2)
+        mem.flop(7)
+        c = mem.counters
+        assert (c.branches_cond, c.branches_uncond, c.flops) == (5, 2, 7)
+
+    def test_cached_mode_never_misses(self):
+        mem = CountingMemory(small_hier())
+        h = mem.register("x", np.zeros(1_000_000))
+        mem.read(h, count=1000, mode="cached")
+        assert mem.counters.reads == 1000
+        assert mem.counters.l1_misses == 0
+
+    def test_seq_scan_of_small_array_stays_cached(self):
+        mem = CountingMemory(small_hier())
+        h = mem.register("x", np.zeros(64))  # 512B < L1
+        mem.read(h, count=64, mode="seq")
+        assert mem.counters.l1_misses == 0
+
+    def test_seq_scan_of_big_array_misses_per_line(self):
+        mem = CountingMemory(small_hier())
+        h = mem.register("x", np.zeros(100_000))
+        mem.read(h, count=8000, mode="seq")
+        # 8 items per 64B line
+        assert mem.counters.l1_misses == pytest.approx(1000, abs=2)
+
+    def test_rand_miss_scales_with_array_size(self):
+        mem = CountingMemory(small_hier())
+        small = mem.register("s", np.zeros(100))
+        big = mem.register("b", np.zeros(1_000_000))
+        c_small = PerfCounters()
+        mem.set_counters(c_small)
+        mem.read(small, idx=np.arange(100), mode="rand")
+        c_big = PerfCounters()
+        mem.set_counters(c_big)
+        mem.read(big, idx=np.arange(0, 1_000_000, 10_000), mode="rand")
+        assert c_big.l3_misses > c_small.l3_misses
+
+    def test_span_refinement(self):
+        """Clustered random indices into a huge array behave like a small one."""
+        mem = CountingMemory(small_hier())
+        big = mem.register("b", np.zeros(1_000_000))
+        clustered = PerfCounters()
+        mem.set_counters(clustered)
+        mem.read(big, idx=np.arange(50), mode="rand")  # span = 400B
+        spread = PerfCounters()
+        mem.set_counters(spread)
+        mem.read(big, idx=np.arange(0, 1_000_000, 20_000), mode="rand")
+        assert clustered.l1_misses == 0
+        assert spread.l3_misses > 0
+
+    def test_set_counters_switches_attribution(self):
+        mem = CountingMemory()
+        h = mem.register("x", np.zeros(10))
+        c1, c2 = PerfCounters(), PerfCounters()
+        mem.set_counters(c1)
+        mem.read(h, count=3)
+        mem.set_counters(c2)
+        mem.read(h, count=5)
+        assert c1.reads == 3 and c2.reads == 5
+
+    @given(st.integers(1, 10_000))
+    def test_counts_match_request(self, n):
+        mem = CountingMemory()
+        h = mem.register("x", 100_000, 8)
+        mem.read(h, count=n)
+        assert mem.counters.reads == n
+
+
+class TestCacheSimMemory:
+    def test_touch_feeds_simulator(self):
+        mem = CacheSimMemory(small_hier(), n_threads=2)
+        h = mem.register("x", np.zeros(100_000))
+        mem.read(h, idx=np.arange(0, 100_000, 997), mode="rand")
+        assert mem.counters.l1_misses > 0
+        assert mem.counters.tlb_d_misses > 0
+
+    def test_per_thread_private_l1(self):
+        mem = CacheSimMemory(small_hier(), n_threads=2)
+        h = mem.register("x", np.zeros(1000))
+        c0, c1 = PerfCounters(), PerfCounters()
+        mem.set_counters(c0)
+        mem.set_thread(0)
+        mem.read(h, idx=np.arange(8) * 8)   # 8 distinct lines
+        mem.set_counters(c1)
+        mem.set_thread(1)
+        mem.read(h, idx=np.arange(8) * 8)   # same lines, other thread's L1
+        assert c0.l1_misses > 0 and c1.l1_misses > 0
+
+    def test_shared_l3(self):
+        mem = CacheSimMemory(small_hier(), n_threads=2)
+        h = mem.register("x", np.zeros(1000))
+        mem.set_thread(0)
+        mem.read(h, idx=np.arange(8) * 8)
+        c1 = PerfCounters()
+        mem.set_counters(c1)
+        mem.set_thread(1)
+        mem.read(h, idx=np.arange(8) * 8)
+        # thread 1 misses its private L1/L2 but hits the shared L3
+        assert c1.l3_misses == 0
+
+    def test_positionless_scan_synthesized(self):
+        mem = CacheSimMemory(small_hier())
+        h = mem.register("x", np.zeros(10_000))
+        mem.read(h, count=800, mode="seq")
+        assert mem.counters.l1_misses == pytest.approx(100, abs=2)
+
+    def test_start_count_descriptor(self):
+        mem = CacheSimMemory(small_hier())
+        h = mem.register("x", np.zeros(10_000))
+        mem.read(h, start=4000, count=8)
+        assert mem.counters.reads == 8
+        assert mem.counters.l1_misses == 1
+
+
+class TestAbstractBase:
+    def test_touch_is_abstract(self):
+        mem = MemoryModel()
+        h = mem.register("x", 10, 8)
+        with pytest.raises(NotImplementedError):
+            mem.read(h, count=1)

@@ -1,0 +1,160 @@
+"""Metamorphic tests: invariance laws the algorithms must satisfy.
+
+Instead of comparing against an oracle, these tests transform the
+*input* in a way with a known effect on the *output* and check the
+relation holds -- permutation equivariance, weight scaling, edge
+additions, and component composition.  They catch classes of bugs
+(owner-dependence, weight-unit assumptions) that fixed-oracle tests
+miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    bfs, boruvka_mst, pagerank, sssp_delta, triangle_count,
+)
+from repro.algorithms.connected_components import connected_components
+from repro.generators import erdos_renyi
+from repro.graph import from_edges, relabel_random
+from tests.conftest import make_runtime
+
+
+def _perm_of(g, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(g.n).astype(np.int64)
+
+
+def _apply_perm(g, perm, weighted=False):
+    pairs = g.edges()
+    new_edges = perm[pairs]
+    weights = None
+    if weighted:
+        weights = np.array([g.weight_of(int(v), int(w)) for v, w in pairs])
+    return from_edges(g.n, new_edges, weights, directed=g.directed)
+
+
+class TestPermutationEquivariance:
+    """f(relabel(G))[perm[v]] == f(G)[v] -- results must not depend on ids."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_pagerank(self, seed):
+        g = erdos_renyi(60, d_bar=3.0, seed=seed)
+        perm = _perm_of(g, seed + 1)
+        g2 = _apply_perm(g, perm)
+        r1 = pagerank(g, make_runtime(g), direction="pull", iterations=6)
+        r2 = pagerank(g2, make_runtime(g2), direction="pull", iterations=6)
+        assert np.allclose(r2.ranks[perm], r1.ranks, atol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_triangles(self, seed):
+        g = erdos_renyi(50, d_bar=4.0, seed=seed)
+        perm = _perm_of(g, seed + 1)
+        g2 = _apply_perm(g, perm)
+        r1 = triangle_count(g, make_runtime(g), direction="pull")
+        r2 = triangle_count(g2, make_runtime(g2), direction="pull")
+        assert np.array_equal(r2.per_vertex[perm], r1.per_vertex)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_bfs_levels(self, seed):
+        g = erdos_renyi(60, d_bar=3.0, seed=seed)
+        perm = _perm_of(g, seed + 1)
+        g2 = _apply_perm(g, perm)
+        r1 = bfs(g, make_runtime(g), 0, direction="push")
+        r2 = bfs(g2, make_runtime(g2), int(perm[0]), direction="push")
+        assert np.array_equal(r2.level[perm], r1.level)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_components_partition_invariant(self, seed):
+        g = erdos_renyi(60, d_bar=1.5, seed=seed)
+        perm = _perm_of(g, seed + 1)
+        g2 = _apply_perm(g, perm)
+        r1 = connected_components(g, make_runtime(g), direction="push")
+        r2 = connected_components(g2, make_runtime(g2), direction="push")
+        # same partition structure: co-membership is preserved
+        assert r1.n_components == r2.n_components
+        for v in range(0, g.n, 7):
+            for w in range(0, g.n, 11):
+                same1 = r1.labels[v] == r1.labels[w]
+                same2 = r2.labels[perm[v]] == r2.labels[perm[w]]
+                assert same1 == same2
+
+
+class TestWeightScaling:
+    """Scaling all weights by c > 0 scales distances/MST by c and
+    preserves structure."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6), c=st.floats(0.25, 8.0))
+    def test_sssp_scales(self, seed, c):
+        g = erdos_renyi(50, d_bar=3.0, seed=seed, weighted=True)
+        scaled = g.with_weights(g.weights * c)
+        src = int(np.argmax(np.diff(g.offsets)))
+        r1 = sssp_delta(g, make_runtime(g), src, direction="push")
+        r2 = sssp_delta(scaled, make_runtime(scaled), src, direction="push")
+        fin = np.isfinite(r1.dist)
+        assert np.array_equal(np.isfinite(r2.dist), fin)
+        assert np.allclose(r2.dist[fin], c * r1.dist[fin], rtol=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6), c=st.floats(0.25, 8.0))
+    def test_mst_scales(self, seed, c):
+        g = erdos_renyi(40, d_bar=3.0, seed=seed, weighted=True)
+        scaled = g.with_weights(g.weights * c)
+        r1 = boruvka_mst(g, make_runtime(g), direction="pull")
+        r2 = boruvka_mst(scaled, make_runtime(scaled), direction="pull")
+        assert r2.total_weight == pytest.approx(c * r1.total_weight)
+        assert r2.edges == r1.edges  # same tree, ties scale together
+
+
+class TestMonotoneTransforms:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_adding_an_edge_never_increases_distances(self, seed):
+        g = erdos_renyi(40, d_bar=2.0, seed=seed, weighted=True)
+        src = 0
+        r1 = sssp_delta(g, make_runtime(g), src, direction="push")
+        rng = np.random.default_rng(seed + 9)
+        u, v = int(rng.integers(g.n)), int(rng.integers(g.n))
+        if u == v or g.has_edge(u, v):
+            return
+        pairs = np.r_[g.edges(), [[u, v]]]
+        w = np.r_[[g.weight_of(int(a), int(b)) for a, b in g.edges()],
+                  [float(rng.uniform(0.5, 5.0))]]
+        g2 = from_edges(g.n, pairs, w)
+        r2 = sssp_delta(g2, make_runtime(g2), src, direction="push")
+        both = np.isfinite(r1.dist)
+        assert np.all(r2.dist[both] <= r1.dist[both] + 1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_adding_an_edge_never_disconnects(self, seed):
+        g = erdos_renyi(40, d_bar=1.5, seed=seed)
+        r1 = connected_components(g, make_runtime(g))
+        rng = np.random.default_rng(seed + 3)
+        u, v = int(rng.integers(g.n)), int(rng.integers(g.n))
+        if u == v:
+            return
+        g2 = from_edges(g.n, np.r_[g.edges(), [[u, v]]])
+        r2 = connected_components(g2, make_runtime(g2))
+        assert r2.n_components <= r1.n_components
+
+
+class TestDisjointComposition:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_triangles_compose_over_disjoint_union(self, seed):
+        a = erdos_renyi(30, d_bar=4.0, seed=seed)
+        b = erdos_renyi(25, d_bar=4.0, seed=seed + 1)
+        union_edges = np.r_[a.edges(), b.edges() + a.n]
+        u = from_edges(a.n + b.n, union_edges)
+        ra = triangle_count(a, make_runtime(a), direction="pull")
+        rb = triangle_count(b, make_runtime(b), direction="pull")
+        ru = triangle_count(u, make_runtime(u), direction="pull")
+        assert np.array_equal(ru.per_vertex[:a.n], ra.per_vertex)
+        assert np.array_equal(ru.per_vertex[a.n:], rb.per_vertex)

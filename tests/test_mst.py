@@ -1,0 +1,121 @@
+"""Correctness + instrumentation tests for Borůvka MST."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.algorithms.mst_boruvka import boruvka_mst
+from repro.algorithms.reference import mst_weight_reference
+from repro.generators import erdos_renyi
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+DIRECTIONS = ("push", "pull")
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+class TestCorrectness:
+    def test_weight_matches_kruskal(self, er_weighted, direction):
+        ref = mst_weight_reference(er_weighted)
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction=direction)
+        assert r.total_weight == pytest.approx(ref)
+
+    def test_weight_matches_networkx(self, road_graph, direction):
+        rt = make_runtime(road_graph)
+        r = boruvka_mst(road_graph, rt, direction=direction)
+        nxmst = nx.minimum_spanning_tree(to_networkx(road_graph))
+        assert r.total_weight == pytest.approx(
+            nxmst.size(weight="weight"))
+
+    def test_forest_edge_count(self, er_weighted, direction):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction=direction)
+        n_components = nx.number_connected_components(
+            to_networkx(er_weighted))
+        assert len(r.edges) == er_weighted.n - n_components
+
+    def test_edges_form_acyclic_subgraph(self, er_weighted, direction):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction=direction)
+        f = nx.Graph(r.edges)
+        assert nx.is_forest(f)
+        for v, w in r.edges:
+            assert er_weighted.has_edge(v, w)
+
+    def test_unweighted_spanning_tree(self, comm_graph, direction):
+        rt = make_runtime(comm_graph)
+        r = boruvka_mst(comm_graph, rt, direction=direction)
+        assert r.total_weight == pytest.approx(len(r.edges))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_weighted_graphs(self, direction, seed):
+        g = erdos_renyi(50, d_bar=3.0, seed=seed, weighted=True)
+        ref = mst_weight_reference(g)
+        rt = make_runtime(g)
+        r = boruvka_mst(g, rt, direction=direction)
+        assert r.total_weight == pytest.approx(ref)
+
+    def test_duplicate_weights_consistent(self, direction):
+        """All weights equal: any spanning tree has the same weight, and
+        the endpoint-symmetric tie-break must not create cycles."""
+        g = from_edges(10, [(i, j) for i in range(10) for j in range(i + 1, 10)],
+                       weights=[1.0] * 45)
+        rt = make_runtime(g)
+        r = boruvka_mst(g, rt, direction=direction)
+        assert r.total_weight == pytest.approx(9.0)
+        assert nx.is_tree(nx.Graph(r.edges))
+
+
+class TestPhases:
+    def test_phase_times_recorded(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction="pull")
+        assert set(r.phase_times) == {"FM", "BMT", "M"}
+        assert len(r.phase_times["FM"]) == r.iterations
+
+    def test_iterations_logarithmic(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction="pull")
+        assert r.iterations <= int(np.log2(er_weighted.n)) + 2
+
+    def test_push_slower_in_fm_faster_in_bmt(self, comm_graph):
+        rts = [make_runtime(comm_graph) for _ in range(2)]
+        push = boruvka_mst(comm_graph, rts[0], direction="push")
+        pull = boruvka_mst(comm_graph, rts[1], direction="pull")
+        assert sum(push.phase_times["FM"]) > sum(pull.phase_times["FM"])
+        assert sum(push.phase_times["BMT"]) <= sum(pull.phase_times["BMT"])
+
+
+class TestInstrumentation:
+    def test_pull_zero_atomics(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction="pull")
+        assert r.counters.atomics == 0
+
+    def test_push_uses_cas(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = boruvka_mst(er_weighted, rt, direction="push")
+        assert r.counters.cas > 0
+
+
+class TestEdgeCases:
+    def test_single_edge(self):
+        g = from_edges(2, [(0, 1)], weights=[2.5])
+        rt = make_runtime(g, P=2)
+        r = boruvka_mst(g, rt)
+        assert r.edges == [(0, 1)] and r.total_weight == 2.5
+
+    def test_all_isolated(self):
+        g = from_edges(4, [])
+        rt = make_runtime(g)
+        r = boruvka_mst(g, rt)
+        assert r.edges == [] and r.total_weight == 0.0
+
+    def test_invalid_direction(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        with pytest.raises(ValueError):
+            boruvka_mst(tiny_weighted, rt, direction="down")

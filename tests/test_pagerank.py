@@ -1,0 +1,122 @@
+"""Correctness + instrumentation tests for push/pull/PA PageRank."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.reference import pagerank_reference
+from repro.graph import to_networkx
+from tests.conftest import make_runtime
+
+DIRECTIONS = ("push", "pull", "push-pa")
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+class TestCorrectness:
+    def test_matches_reference(self, comm_graph, direction):
+        ref = pagerank_reference(comm_graph, 10)
+        rt = make_runtime(comm_graph, check_ownership=(direction == "pull"))
+        r = pagerank(comm_graph, rt, direction=direction, iterations=10)
+        assert np.allclose(r.ranks, ref, atol=1e-12)
+
+    def test_handles_isolated_vertices(self, tiny_graph, direction):
+        rt = make_runtime(tiny_graph)
+        r = pagerank(tiny_graph, rt, direction=direction, iterations=5)
+        # isolated vertex 5 receives only the teleport mass
+        assert r.ranks[5] == pytest.approx(0.15 / 6)
+
+    def test_road_graph(self, road_graph, direction):
+        ref = pagerank_reference(road_graph, 6)
+        rt = make_runtime(road_graph)
+        r = pagerank(road_graph, rt, direction=direction, iterations=6)
+        assert np.allclose(r.ranks, ref, atol=1e-12)
+
+
+class TestAgainstNetworkx:
+    def test_converged_ranks_match_networkx(self, comm_graph):
+        """On a graph without dangling vertices, the paper's recurrence
+        converges to networkx's pagerank."""
+        deg = np.diff(comm_graph.offsets)
+        assert np.all(deg > 0), "fixture must have no isolated vertices"
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=100)
+        nxpr = nx.pagerank(to_networkx(comm_graph), alpha=0.85, tol=1e-12)
+        ours = r.ranks / r.ranks.sum()
+        theirs = np.array([nxpr[i] for i in range(comm_graph.n)])
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+
+class TestInstrumentation:
+    def test_pull_zero_atomics(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=3)
+        assert r.counters.atomics == 0 and r.counters.locks == 0
+
+    def test_push_atomics_are_2mL(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        L = 3
+        r = pagerank(comm_graph, rt, direction="push", iterations=L)
+        assert r.counters.atomics == 2 * comm_graph.m * L
+        assert r.counters.cas == r.counters.atomics  # float CAS loop
+
+    def test_pa_atomics_fewer_and_batched(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        push = pagerank(comm_graph, rt, direction="push", iterations=2)
+        rt = make_runtime(comm_graph)
+        pa = pagerank(comm_graph, rt, direction="push-pa", iterations=2)
+        assert 0 < pa.counters.atomics < push.counters.atomics
+        assert pa.counters.atomics_batched == pa.counters.atomics
+
+    def test_pull_reads_exceed_push_reads(self, comm_graph):
+        """Pull fetches rank AND degree per edge entry (Section 7.3)."""
+        rt = make_runtime(comm_graph)
+        push = pagerank(comm_graph, rt, direction="push", iterations=2)
+        rt = make_runtime(comm_graph)
+        pull = pagerank(comm_graph, rt, direction="pull", iterations=2)
+        assert pull.counters.reads > push.counters.reads
+
+    def test_iteration_times_recorded(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=4)
+        assert len(r.iteration_times) == 4
+        assert all(t > 0 for t in r.iteration_times)
+        assert sum(r.iteration_times) == pytest.approx(r.time)
+
+
+class TestConvergence:
+    def test_tol_stops_early(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=500,
+                     tol=1e-10)
+        assert r.converged and r.iterations < 500
+
+    def test_tol_result_stable(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=500,
+                     tol=1e-12)
+        ref = pagerank_reference(comm_graph, r.iterations)
+        assert np.allclose(r.ranks, ref, atol=1e-10)
+
+    def test_rank_mass_conserved_without_dangling(self, comm_graph):
+        deg = np.diff(comm_graph.offsets)
+        assert np.all(deg > 0)
+        rt = make_runtime(comm_graph)
+        r = pagerank(comm_graph, rt, direction="pull", iterations=50)
+        assert r.ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestValidation:
+    def test_bad_direction(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        with pytest.raises(ValueError):
+            pagerank(tiny_graph, rt, direction="sideways")
+
+    def test_push_and_pull_agree_on_every_fixture(
+            self, tiny_graph, er_graph, pa_graph, rmat_graph):
+        for g in (tiny_graph, er_graph, pa_graph, rmat_graph):
+            rts = [make_runtime(g) for _ in range(2)]
+            a = pagerank(g, rts[0], direction="push", iterations=5)
+            b = pagerank(g, rts[1], direction="pull", iterations=5)
+            assert np.allclose(a.ranks, b.ranks, atol=1e-12)

@@ -1,0 +1,125 @@
+"""Unit + property tests for 1D partitioning and the PA representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Partition1D, PartitionAwareCSR, from_edges
+from repro.generators import community_graph
+
+
+class TestPartition1D:
+    def test_block_sizes_balanced(self):
+        p = Partition1D(10, 3)
+        sizes = [p.size(t) for t in range(3)]
+        assert sum(sizes) == 10 and max(sizes) - min(sizes) <= 1
+
+    def test_owner_scalar_and_vector(self):
+        p = Partition1D(10, 2)
+        assert p.owner(0) == 0 and p.owner(9) == 1
+        assert np.array_equal(p.owner(np.array([0, 9])), [0, 1])
+
+    def test_owned_covers_all(self):
+        p = Partition1D(17, 4)
+        allv = np.concatenate([p.owned(t) for t in range(4)])
+        assert np.array_equal(np.sort(allv), np.arange(17))
+
+    def test_owned_slice(self):
+        p = Partition1D(10, 2)
+        assert p.owned_slice(0) == slice(0, 5)
+
+    def test_is_local(self):
+        p = Partition1D(10, 2)
+        assert p.is_local(0, 4) and not p.is_local(0, 5)
+        assert np.array_equal(p.is_local(1, np.array([4, 5])), [False, True])
+
+    def test_more_threads_than_vertices(self):
+        p = Partition1D(2, 5)
+        assert sum(p.size(t) for t in range(5)) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Partition1D(10, 0)
+        with pytest.raises(ValueError):
+            Partition1D(-1, 2)
+
+    def test_group_by_owner(self):
+        p = Partition1D(10, 2)
+        groups = p.group_by_owner(np.array([7, 1, 3, 9]))
+        assert list(groups[0]) == [1, 3] and list(groups[1]) == [7, 9]
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_owner_of_owned_is_self(self, n, P):
+        p = Partition1D(n, P)
+        for t in range(P):
+            owned = p.owned(t)
+            if len(owned):
+                assert np.all(p.owner(owned) == t)
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_starts_monotone(self, n, P):
+        p = Partition1D(n, P)
+        assert p.starts[0] == 0 and p.starts[-1] == n
+        assert np.all(np.diff(p.starts) >= 0)
+
+
+class TestBorderVertices:
+    def test_all_local_when_single_thread(self, comm_graph):
+        p = Partition1D(comm_graph.n, 1)
+        assert len(p.border_vertices(comm_graph)) == 0
+
+    def test_border_detection(self):
+        # path 0-1 | 2-3 partitioned in half: 1-2 edge crosses
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        p = Partition1D(4, 2)
+        assert list(p.border_vertices(g)) == [1, 2]
+
+    def test_border_grows_with_threads(self, comm_graph):
+        p2 = Partition1D(comm_graph.n, 2)
+        p8 = Partition1D(comm_graph.n, 8)
+        assert (len(p8.border_vertices(comm_graph))
+                >= len(p2.border_vertices(comm_graph)))
+
+
+class TestPartitionAwareCSR:
+    def test_split_correct(self, comm_graph):
+        part = Partition1D(comm_graph.n, 4)
+        pa = PartitionAwareCSR(comm_graph, part)
+        for v in range(comm_graph.n):
+            t = part.owner(v)
+            local = pa.local_neighbors(v)
+            remote = pa.remote_neighbors(v)
+            assert np.all(part.owner(local) == t) if len(local) else True
+            assert np.all(part.owner(remote) != t) if len(remote) else True
+            combined = np.sort(np.concatenate([local, remote]))
+            assert np.array_equal(combined, comm_graph.neighbors(v))
+
+    def test_each_side_stays_sorted(self, comm_graph):
+        pa = PartitionAwareCSR(comm_graph, Partition1D(comm_graph.n, 4))
+        for v in range(comm_graph.n):
+            assert np.all(np.diff(pa.local_neighbors(v)) > 0)
+            assert np.all(np.diff(pa.remote_neighbors(v)) > 0)
+
+    def test_cells_are_2n_plus_2m(self, comm_graph):
+        pa = PartitionAwareCSR(comm_graph, Partition1D(comm_graph.n, 4))
+        assert pa.n_cells == 2 * comm_graph.n + 2 * comm_graph.m
+        assert pa.n_cells == comm_graph.n_cells + comm_graph.n
+
+    def test_counts_partition_edges(self, comm_graph):
+        pa = PartitionAwareCSR(comm_graph, Partition1D(comm_graph.n, 4))
+        assert (pa.local_edge_count() + pa.remote_edge_count()
+                == 2 * comm_graph.m)
+
+    def test_single_thread_all_local(self, comm_graph):
+        pa = PartitionAwareCSR(comm_graph, Partition1D(comm_graph.n, 1))
+        assert pa.remote_edge_count() == 0
+
+    def test_weights_follow_split(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)], weights=[1.0, 2.0, 3.0])
+        pa = PartitionAwareCSR(g, Partition1D(4, 2))
+        assert list(pa.local_weights(0)) == [1.0]       # neighbor 1 is local
+        assert list(pa.remote_weights(0)) == [2.0, 3.0]
+
+    def test_mismatched_n_rejected(self, comm_graph):
+        with pytest.raises(ValueError):
+            PartitionAwareCSR(comm_graph, Partition1D(comm_graph.n + 1, 2))

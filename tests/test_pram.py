@@ -1,0 +1,183 @@
+"""Tests for the PRAM models, primitives, and Section-4 cost evaluators."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pram import (
+    ALGORITHM_COSTS, PRAM, PrimitiveCost, bc_cost, bfs_cost,
+    boman_coloring_cost, boruvka_cost, k_bar, k_filter, k_relaxation,
+    limit_processors, pagerank_cost, simulate_crcw_on_weaker,
+    sssp_delta_cost, triangle_count_cost,
+)
+
+
+class TestModels:
+    def test_concurrency_flags(self):
+        assert not PRAM.EREW.allows_concurrent_reads
+        assert PRAM.CREW.allows_concurrent_reads
+        assert not PRAM.CREW.allows_concurrent_writes
+        assert PRAM.CRCW_CB.allows_concurrent_writes
+
+    def test_simulation_log_slowdown(self):
+        assert simulate_crcw_on_weaker(10.0, 1024) == 10.0 * 10
+
+    def test_simulation_identity_on_crcw(self):
+        assert simulate_crcw_on_weaker(10.0, 1024, PRAM.CRCW_CB) == 10.0
+
+    def test_simulation_single_processor(self):
+        assert simulate_crcw_on_weaker(10.0, 1) == 10.0
+
+    @given(st.floats(1, 1e6), st.integers(2, 1 << 16),
+           st.integers(1, 1 << 16))
+    def test_lp_lemma(self, S, P, P_prime):
+        S_new = limit_processors(S, P, P_prime)
+        if P_prime >= P:
+            assert S_new == S
+        else:
+            assert S_new == math.ceil(S * P / P_prime)
+
+    def test_lp_invalid(self):
+        with pytest.raises(ValueError):
+            limit_processors(1.0, 4, 0)
+
+
+class TestPrimitives:
+    def test_k_bar(self):
+        assert k_bar(100, 10) == 10 and k_bar(5, 10) == 1
+
+    def test_pull_relaxation(self):
+        c = k_relaxation(1000, 10, "pull")
+        assert c.time == 100 and c.work == 1000
+
+    def test_push_crcw_same_as_pull(self):
+        assert (k_relaxation(64, 4, "push", PRAM.CRCW_CB)
+                == k_relaxation(64, 4, "pull", PRAM.CRCW_CB))
+
+    def test_push_crew_log_factor(self):
+        base = k_relaxation(64, 4, "push", PRAM.CRCW_CB, d_hat=256)
+        crew = k_relaxation(64, 4, "push", PRAM.CREW, d_hat=256)
+        assert crew.time == base.time * 8 and crew.work == base.work * 8
+
+    def test_filter_cost(self):
+        c = k_filter(1000, 8, n=100)
+        assert c.time == pytest.approx(3 + 125)
+        assert c.work == 100  # min(k, n)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            k_relaxation(1, 1, "shake")
+
+    def test_cost_arithmetic(self):
+        a = PrimitiveCost(1, 2) + PrimitiveCost(3, 4)
+        assert (a.time, a.work) == (4, 6)
+        assert PrimitiveCost(1, 2).scaled(3) == PrimitiveCost(3, 6)
+
+
+ARGS = dict(n=4096, m=65536, d_hat=256, P=64)
+
+
+class TestAlgorithmCosts:
+    def test_registry_covers_all(self):
+        assert {"PR", "TC", "BFS", "SSSP-Δ", "BC",
+                "BGC", "MST"} <= set(ALGORITHM_COSTS)
+
+    def test_pr_pull_no_sync(self):
+        c = pagerank_cost("pull", PRAM.CRCW_CB, **ARGS, L=10)
+        assert c.atomics == 0 and c.locks == 0
+        assert c.read_conflicts == 10 * ARGS["m"]
+
+    def test_pr_push_locks(self):
+        c = pagerank_cost("push", PRAM.CRCW_CB, **ARGS, L=10)
+        assert c.locks == 10 * ARGS["m"] and c.write_conflicts == 10 * ARGS["m"]
+
+    def test_pr_crew_log_penalty(self):
+        crcw = pagerank_cost("push", PRAM.CRCW_CB, **ARGS)
+        crew = pagerank_cost("push", PRAM.CREW, **ARGS)
+        assert crew.time == pytest.approx(crcw.time * 8)
+        # pulling pays no penalty on CREW
+        assert (pagerank_cost("pull", PRAM.CREW, **ARGS).time
+                == pagerank_cost("pull", PRAM.CRCW_CB, **ARGS).time)
+
+    def test_tc_both_read_push_also_writes(self):
+        pull = triangle_count_cost("pull", PRAM.CRCW_CB, **ARGS)
+        push = triangle_count_cost("push", PRAM.CRCW_CB, **ARGS)
+        assert pull.read_conflicts == push.read_conflicts
+        assert pull.write_conflicts == 0 and push.write_conflicts > 0
+        assert push.atomics == ARGS["m"] * ARGS["d_hat"]
+
+    def test_bfs_work_asymmetry(self):
+        pull = bfs_cost("pull", PRAM.CRCW_CB, **ARGS, D=8)
+        push = bfs_cost("push", PRAM.CRCW_CB, **ARGS, D=8)
+        assert pull.work == 8 * push.work
+        assert push.atomics == ARGS["m"]  # O(m) CAS
+
+    def test_sssp_push_cheaper(self):
+        pull = sssp_delta_cost("pull", PRAM.CRCW_CB, **ARGS,
+                               L_over_delta=10, l_delta=3)
+        push = sssp_delta_cost("push", PRAM.CRCW_CB, **ARGS,
+                               L_over_delta=10, l_delta=3)
+        assert push.work < pull.work
+        assert pull.locks == 0  # analytic claim of Section 4.9
+
+    def test_bc_lock_vs_atomic_type_change(self):
+        push = bc_cost("push", PRAM.CRCW_CB, **ARGS, D=8, sources=16)
+        pull = bc_cost("pull", PRAM.CRCW_CB, **ARGS, D=8, sources=16)
+        assert push.locks > 0 and push.atomics == 0
+        assert pull.atomics > 0 and pull.locks == 0
+
+    def test_bgc_symmetric_cas(self):
+        push = boman_coloring_cost("push", PRAM.CRCW_CB, **ARGS, L=5)
+        pull = boman_coloring_cost("pull", PRAM.CRCW_CB, **ARGS, L=5)
+        assert push.atomics == pull.atomics == 5 * ARGS["m"]
+
+    def test_mst_quadratic(self):
+        c = boruvka_cost("pull", PRAM.CRCW_CB, **ARGS)
+        assert c.work == ARGS["n"] ** 2
+        assert c.time == ARGS["n"] ** 2 / ARGS["P"]
+
+    def test_mst_crew_log_n_not_log_d(self):
+        crcw = boruvka_cost("push", PRAM.CRCW_CB, **ARGS)
+        crew = boruvka_cost("push", PRAM.CREW, **ARGS)
+        assert crew.time == pytest.approx(crcw.time * math.log2(ARGS["n"]))
+
+    @given(st.integers(1, 1 << 12))
+    def test_time_monotone_decreasing_in_P(self, P):
+        a = pagerank_cost("pull", PRAM.CRCW_CB, n=4096, m=65536,
+                          d_hat=64, P=P)
+        b = pagerank_cost("pull", PRAM.CRCW_CB, n=4096, m=65536,
+                          d_hat=64, P=2 * P)
+        assert b.time <= a.time
+        assert b.work == a.work  # work is processor-independent
+
+    def test_as_row_keys(self):
+        row = pagerank_cost("pull", PRAM.CRCW_CB, **ARGS).as_row()
+        assert {"algorithm", "dir", "model", "time", "work"} <= set(row)
+
+
+class TestExtensionCosts:
+    def test_prim_pull_read_heavy(self):
+        from repro.pram import prim_cost
+        pull = prim_cost("pull", PRAM.CRCW_CB, **ARGS)
+        push = prim_cost("push", PRAM.CRCW_CB, **ARGS)
+        assert pull.read_conflicts > 0 and pull.atomics == 0
+        assert push.atomics == 2 * ARGS["m"]
+        assert pull.work > push.work  # n² probes vs m relaxations
+
+    def test_kruskal_sort_dominates(self):
+        from repro.pram import kruskal_cost
+        pull = kruskal_cost("pull", PRAM.CRCW_CB, **ARGS)
+        push = kruskal_cost("push", PRAM.CRCW_CB, **ARGS)
+        assert pull.atomics == 0 and push.atomics == ARGS["n"]
+        assert pull.work >= ARGS["m"] * math.log2(ARGS["m"])
+
+    def test_cc_mirrors_bfs_asymmetry(self):
+        from repro.pram import connected_components_cost
+        pull = connected_components_cost("pull", PRAM.CRCW_CB, **ARGS, D=8)
+        push = connected_components_cost("push", PRAM.CRCW_CB, **ARGS, D=8)
+        assert pull.work == 8 * push.work
+        assert push.write_conflicts == ARGS["m"] and pull.write_conflicts == 0
+
+    def test_registry_includes_extensions(self):
+        assert {"Prim", "Kruskal", "CC"} <= set(ALGORITHM_COSTS)

@@ -1,0 +1,128 @@
+"""Tests for the executable PRAM of Section 2.1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pram import PRAM
+from repro.pram.machine import AccessViolation, PRAMMachine
+
+
+def idle(P):
+    return [[] for _ in range(P)]
+
+
+class TestStepSemantics:
+    def test_reads_see_prestep_memory(self):
+        m = PRAMMachine(2, 4)
+        m.memory[0] = 7.0
+        step = [[("read", 0), ("write", 0, 1.0)], []]
+        results = m.step(step)
+        assert results[0] == [7.0]          # read the old value
+        assert m.memory[0] == 1.0
+
+    def test_time_and_work_accounting(self):
+        m = PRAMMachine(3, 4)
+        m.step([[("local",)], [("read", 0)], [("write", 1, 2.0)]])
+        assert m.time_steps == 1 and m.work == 3
+
+    def test_idle_processors_allowed(self):
+        m = PRAMMachine(2, 2)
+        m.step([[("write", 0, 5.0)], []])
+        assert m.memory[0] == 5.0
+
+    def test_shape_validation(self):
+        m = PRAMMachine(2, 2)
+        with pytest.raises(ValueError):
+            m.step([[]])
+        with pytest.raises(ValueError):
+            m.step([[("hop", 0)], []])
+        with pytest.raises(AccessViolation):
+            m.step([[("read", 99)], []])
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            PRAMMachine(0, 4)
+
+
+class TestVariantRules:
+    def test_crcw_cb_combines_concurrent_writes(self):
+        m = PRAMMachine(3, 2, PRAM.CRCW_CB)
+        m.step([[("write", 0, 1.0)], [("write", 0, 2.0)],
+                [("write", 0, 4.0)]])
+        assert m.memory[0] == 7.0   # sum-combining
+
+    def test_crcw_min_combiner(self):
+        m = PRAMMachine(2, 2, PRAM.CRCW_CB, combine=min)
+        m.step([[("write", 0, 3.0)], [("write", 0, 1.0)]])
+        assert m.memory[0] == 1.0
+
+    def test_crew_allows_concurrent_reads(self):
+        m = PRAMMachine(3, 2, PRAM.CREW)
+        m.memory[0] = 9.0
+        res = m.step([[("read", 0)], [("read", 0)], [("read", 0)]])
+        assert [r[0] for r in res] == [9.0, 9.0, 9.0]
+
+    def test_crew_rejects_concurrent_writes(self):
+        m = PRAMMachine(2, 2, PRAM.CREW)
+        with pytest.raises(AccessViolation):
+            m.step([[("write", 0, 1.0)], [("write", 0, 2.0)]])
+
+    def test_erew_rejects_concurrent_reads(self):
+        m = PRAMMachine(2, 2, PRAM.EREW)
+        with pytest.raises(AccessViolation):
+            m.step([[("read", 0)], [("read", 0)]])
+
+    def test_erew_rejects_read_write_mix(self):
+        m = PRAMMachine(2, 2, PRAM.EREW)
+        with pytest.raises(AccessViolation):
+            m.step([[("read", 0)], [("write", 0, 1.0)]])
+
+    def test_erew_allows_disjoint_cells(self):
+        m = PRAMMachine(2, 4, PRAM.EREW)
+        m.step([[("write", 0, 1.0)], [("write", 1, 2.0)]])
+        assert m.memory[0] == 1.0 and m.memory[1] == 2.0
+
+
+class TestKRelaxation:
+    """The Section-4 facts about the push primitive, executed."""
+
+    def test_push_is_one_write_step_on_crcw(self):
+        m = PRAMMachine(8, 16, PRAM.CRCW_CB)
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            m.memory[i] = v
+        m.k_relaxation_push([0, 1, 2, 3], target=8)
+        assert m.memory[8] == 10.0
+        assert m.time_steps == 2   # one read step + one combining write step
+
+    def test_push_illegal_on_crew(self):
+        m = PRAMMachine(8, 16, PRAM.CREW)
+        m.memory[:4] = [1.0, 2.0, 3.0, 4.0]
+        with pytest.raises(AccessViolation):
+            m.k_relaxation_push([0, 1, 2, 3], target=8)
+
+    def test_crew_merge_tree_is_legal_and_logarithmic(self):
+        k = 8
+        m = PRAMMachine(8, 64, PRAM.CREW)
+        m.memory[:k] = np.arange(1.0, k + 1)
+        m.k_relaxation_push_crew(list(range(k)), target=32, scratch_base=16)
+        assert m.memory[32] == sum(range(1, k + 1))
+        # 2 steps per tree level + the final copy pair
+        assert m.time_steps == 2 * int(math.log2(k)) + 2
+
+    def test_merge_tree_handles_odd_k(self):
+        k = 5
+        m = PRAMMachine(4, 64, PRAM.CREW)
+        m.memory[:k] = np.arange(1.0, k + 1)
+        m.k_relaxation_push_crew(list(range(k)), target=40, scratch_base=16)
+        assert m.memory[40] == 15.0
+
+    def test_pull_is_conflict_free_even_on_erew(self):
+        """Pulling: each processor reads ITS OWN distinct cells and writes
+        its own target -- legal on EREW, the Section-3.8 ownership rule."""
+        m = PRAMMachine(2, 8, PRAM.EREW)
+        m.memory[:4] = [1.0, 2.0, 3.0, 4.0]
+        r = m.step([[("read", 0), ("read", 1)], [("read", 2), ("read", 3)]])
+        m.step([[("write", 4, sum(r[0]))], [("write", 5, sum(r[1]))]])
+        assert m.memory[4] == 3.0 and m.memory[5] == 7.0

@@ -1,0 +1,134 @@
+"""Tests for the extensions: push/pull Prim and directed-graph support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.mst_prim import prim_mst
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.reference import (
+    bfs_reference, mst_weight_reference, pagerank_reference,
+)
+from repro.generators import erdos_renyi
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+
+def _directed_graph(n=80, m=300, seed=1):
+    rng = np.random.default_rng(seed)
+    return from_edges(n, rng.integers(0, n, size=(m, 2)), directed=True)
+
+
+class TestPrim:
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_weight_matches_kruskal(self, er_weighted, direction):
+        ref = mst_weight_reference(er_weighted)
+        rt = make_runtime(er_weighted)
+        r = prim_mst(er_weighted, rt, direction=direction)
+        assert r.total_weight == pytest.approx(ref)
+
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_edges_form_forest(self, er_weighted, direction):
+        rt = make_runtime(er_weighted)
+        r = prim_mst(er_weighted, rt, direction=direction)
+        f = nx.Graph(r.edges)
+        assert nx.is_forest(f)
+        n_comp = nx.number_connected_components(to_networkx(er_weighted))
+        assert len(r.edges) == er_weighted.n - n_comp
+
+    def test_agrees_with_boruvka(self, road_graph):
+        from repro.algorithms.mst_boruvka import boruvka_mst
+        rt = make_runtime(road_graph)
+        prim = prim_mst(road_graph, rt, direction="push")
+        rt = make_runtime(road_graph)
+        boruvka = boruvka_mst(road_graph, rt, direction="pull")
+        assert prim.total_weight == pytest.approx(boruvka.total_weight)
+
+    def test_push_uses_cas_pull_does_not(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        push = prim_mst(er_weighted, rt, direction="push")
+        rt = make_runtime(er_weighted)
+        pull = prim_mst(er_weighted, rt, direction="pull")
+        assert push.counters.cas > 0 and pull.counters.cas == 0
+
+    def test_pull_reads_more(self, er_weighted):
+        """Pull probes every fringe vertex per round -- the read-heavy
+        profile of every pull variant in the paper."""
+        rt = make_runtime(er_weighted)
+        push = prim_mst(er_weighted, rt, direction="push")
+        rt = make_runtime(er_weighted)
+        pull = prim_mst(er_weighted, rt, direction="pull")
+        assert pull.counters.reads > push.counters.reads
+
+    def test_rounds_equal_n(self, er_weighted):
+        rt = make_runtime(er_weighted)
+        r = prim_mst(er_weighted, rt, direction="push")
+        assert r.rounds == er_weighted.n
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(40, d_bar=3.0, seed=seed, weighted=True)
+        ref = mst_weight_reference(g)
+        rt = make_runtime(g)
+        assert prim_mst(g, rt, direction="push").total_weight == \
+            pytest.approx(ref)
+
+
+class TestDirectedPageRank:
+    @pytest.mark.parametrize("direction", ["push", "pull", "push-pa"])
+    def test_matches_reference(self, direction):
+        g = _directed_graph()
+        ref = pagerank_reference(g, 8)
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction=direction, iterations=8)
+        assert np.allclose(r.ranks, ref, atol=1e-12)
+
+    def test_matches_networkx_directed(self):
+        g = _directed_graph(seed=3)
+        # drop dangling vertices for comparability with nx.pagerank
+        out_deg = np.diff(g.offsets)
+        if not np.all(out_deg > 0):
+            pytest.skip("random draw produced dangling vertices")
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction="pull", iterations=100)
+        nxpr = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-12)
+        ours = r.ranks / r.ranks.sum()
+        assert np.allclose(ours, [nxpr[i] for i in range(g.n)], atol=1e-8)
+
+    def test_pull_reads_in_edges(self):
+        """On a star pointing AT vertex 0, pull must read 0's in-edges."""
+        g = from_edges(5, [(i, 0) for i in range(1, 5)], directed=True)
+        ref = pagerank_reference(g, 4)
+        rt = make_runtime(g)
+        r = pagerank(g, rt, direction="pull", iterations=4)
+        assert np.allclose(r.ranks, ref)
+        assert r.ranks[0] > r.ranks[1]
+
+
+class TestDirectedBFS:
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_matches_reference(self, direction):
+        g = _directed_graph(seed=5)
+        ref = bfs_reference(g, 0)
+        rt = make_runtime(g)
+        r = bfs(g, rt, 0, direction=direction)
+        assert np.array_equal(r.level, ref)
+
+    def test_edge_direction_respected(self):
+        g = from_edges(3, [(0, 1), (2, 1)], directed=True)
+        for d in ("push", "pull"):
+            rt = make_runtime(g)
+            r = bfs(g, rt, 0, direction=d)
+            assert r.level[1] == 1 and r.level[2] == -1  # 2 unreachable
+
+    def test_pull_parent_has_arc_to_child(self):
+        g = _directed_graph(seed=7)
+        rt = make_runtime(g)
+        r = bfs(g, rt, 0, direction="pull")
+        for v in range(g.n):
+            if r.level[v] > 0:
+                assert g.has_edge(int(r.parent[v]), v)

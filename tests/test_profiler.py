@@ -1,0 +1,75 @@
+"""Tests for the region profiler."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.machine.cost_model import XC30
+from repro.machine.memory import CountingMemory
+from repro.runtime.profiler import ProfiledRuntime, Profile, RegionRecord
+
+
+def make_profiled(g, P=4):
+    m = XC30.scaled(64)
+    return ProfiledRuntime(g, P=P, machine=m,
+                           memory=CountingMemory(m.hierarchy))
+
+
+class TestRecording:
+    def test_regions_recorded_with_spans(self, comm_graph):
+        rt = make_profiled(comm_graph)
+        rt.annotate("pagerank")
+        r = pagerank(comm_graph, rt, direction="pull", iterations=2)
+        assert len(rt.profile.records) > 0
+        assert all(rec.label == "pagerank" for rec in rt.profile.records)
+        assert rt.profile.total == pytest.approx(
+            r.time - rt.machine.w_barrier * len(rt.profile.records), rel=0.2)
+
+    def test_result_unchanged_by_profiling(self, comm_graph):
+        from tests.conftest import make_runtime
+        from repro.algorithms.reference import pagerank_reference
+        rt = make_profiled(comm_graph)
+        r = pagerank(comm_graph, rt, direction="push", iterations=3)
+        assert np.allclose(r.ranks, pagerank_reference(comm_graph, 3))
+        plain = make_runtime(comm_graph, P=4)
+        r2 = pagerank(comm_graph, plain, direction="push", iterations=3)
+        assert r.time == pytest.approx(r2.time)
+
+    def test_auto_numbering_without_annotation(self, tiny_graph):
+        rt = make_profiled(tiny_graph, P=2)
+        rt.for_each_thread(lambda t, vs: None)
+        assert rt.profile.records[0].label == "region-0"
+
+    def test_sequential_recorded(self, tiny_graph):
+        rt = make_profiled(tiny_graph, P=2)
+        h = rt.mem.register("x", np.zeros(16))
+        rt.annotate("greedy")
+        rt.sequential(lambda: rt.mem.read(h, count=8))
+        rec = rt.profile.records[-1]
+        assert rec.label == "greedy [seq]"
+        assert rec.thread_spans[1] == 0.0
+
+
+class TestAnalysis:
+    def test_imbalance_factor(self):
+        rec = RegionRecord(0, "x", 10.0, [10.0, 2.0])
+        assert rec.imbalance == pytest.approx(10.0 / 6.0)
+        assert RegionRecord(0, "y", 0.0, [0.0, 0.0]).imbalance == 1.0
+
+    def test_by_label_aggregates(self):
+        p = Profile([RegionRecord(0, "a", 5.0, []),
+                     RegionRecord(1, "b", 1.0, []),
+                     RegionRecord(2, "a", 3.0, [])])
+        assert p.by_label() == {"a": 8.0, "b": 1.0}
+
+    def test_top_orders_by_span(self):
+        p = Profile([RegionRecord(0, "a", 1.0, []),
+                     RegionRecord(1, "b", 9.0, [])])
+        assert p.top(1)[0].label == "b"
+
+    def test_render(self, comm_graph):
+        rt = make_profiled(comm_graph)
+        rt.annotate("pr")
+        pagerank(comm_graph, rt, direction="pull", iterations=1)
+        text = rt.profile.render()
+        assert "profile:" in text and "pr" in text and "imbalance" in text

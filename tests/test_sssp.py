@@ -1,0 +1,149 @@
+"""Correctness + instrumentation tests for Δ-Stepping SSSP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.algorithms.reference import sssp_reference
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.generators import erdos_renyi
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_runtime
+
+DIRECTIONS = ("push", "pull")
+
+
+def _assert_dist(ours: np.ndarray, ref: np.ndarray) -> None:
+    fin = np.isfinite(ref)
+    assert np.array_equal(np.isfinite(ours), fin)
+    assert np.allclose(ours[fin], ref[fin])
+
+
+@pytest.mark.parametrize("direction", DIRECTIONS)
+class TestCorrectness:
+    def test_weighted_tiny(self, tiny_weighted, direction):
+        ref = sssp_reference(tiny_weighted, 0)
+        rt = make_runtime(tiny_weighted,
+                          check_ownership=(direction == "pull"))
+        r = sssp_delta(tiny_weighted, rt, 0, direction=direction)
+        _assert_dist(r.dist, ref)
+
+    def test_unweighted_counts_hops(self, comm_graph, direction):
+        rt = make_runtime(comm_graph)
+        r = sssp_delta(comm_graph, rt, 0, direction=direction)
+        ref = sssp_reference(comm_graph, 0)
+        _assert_dist(r.dist, ref)
+
+    def test_matches_networkx_dijkstra(self, road_graph, direction):
+        src = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        r = sssp_delta(road_graph, rt, src, direction=direction)
+        nxd = nx.single_source_dijkstra_path_length(
+            to_networkx(road_graph), src)
+        for v in range(road_graph.n):
+            if v in nxd:
+                assert r.dist[v] == pytest.approx(nxd[v])
+            else:
+                assert np.isinf(r.dist[v])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6), delta=st.floats(0.3, 8.0))
+    def test_random_graphs_any_delta(self, direction, seed, delta):
+        g = erdos_renyi(60, d_bar=3.0, seed=seed, weighted=True,
+                        max_weight=10.0)
+        ref = sssp_reference(g, 0)
+        rt = make_runtime(g)
+        r = sssp_delta(g, rt, 0, delta=delta, direction=direction)
+        _assert_dist(r.dist, ref)
+
+    def test_source_validation(self, tiny_weighted, direction):
+        rt = make_runtime(tiny_weighted)
+        with pytest.raises(ValueError):
+            sssp_delta(tiny_weighted, rt, -1, direction=direction)
+
+    def test_delta_validation(self, tiny_weighted, direction):
+        rt = make_runtime(tiny_weighted)
+        with pytest.raises(ValueError):
+            sssp_delta(tiny_weighted, rt, 0, delta=0.0, direction=direction)
+
+
+class TestBucketSchedule:
+    def test_directions_agree_on_epoch_count(self, er_weighted):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        rts = [make_runtime(er_weighted) for _ in range(2)]
+        a = sssp_delta(er_weighted, rts[0], src, direction="push")
+        b = sssp_delta(er_weighted, rts[1], src, direction="pull")
+        assert a.epochs == b.epochs
+        _assert_dist(a.dist, b.dist)
+
+    def test_large_delta_one_epoch_per_component(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 0, delta=1000.0, direction="push")
+        assert r.epochs == 1
+
+    def test_small_delta_many_epochs(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 0, delta=0.5, direction="push")
+        assert r.epochs > 3
+
+    def test_epoch_times_recorded(self, er_weighted):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        rt = make_runtime(er_weighted)
+        r = sssp_delta(er_weighted, rt, src, direction="push")
+        assert len(r.epoch_times) == r.epochs
+        assert all(t >= 0 for t in r.epoch_times)
+
+    def test_max_epochs_cap(self, road_graph):
+        src = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        r = sssp_delta(road_graph, rt, src, direction="push", max_epochs=2)
+        assert r.epochs <= 2
+
+
+class TestInstrumentation:
+    def test_push_locks_only_improving(self, er_weighted):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        rt = make_runtime(er_weighted)
+        r = sssp_delta(er_weighted, rt, src, direction="push")
+        # at most one improvement per scanned edge relaxation
+        assert 0 < r.counters.locks <= r.counters.reads
+
+    def test_pull_locks_far_exceed_push(self, er_weighted):
+        """Table 1's pok column: 902k push vs 44.6M pull locks."""
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        rt = make_runtime(er_weighted)
+        push = sssp_delta(er_weighted, rt, src, direction="push")
+        rt = make_runtime(er_weighted)
+        pull = sssp_delta(er_weighted, rt, src, direction="pull")
+        assert pull.counters.locks > 2 * push.counters.locks
+
+    def test_pull_reads_far_exceed_push(self, road_graph):
+        src = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        push = sssp_delta(road_graph, rt, src, direction="push")
+        rt = make_runtime(road_graph)
+        pull = sssp_delta(road_graph, rt, src, direction="pull")
+        assert pull.counters.reads > 10 * push.counters.reads
+
+    def test_no_cas_used(self, er_weighted):
+        """Our SSSP guards the (dist, bucket) pair with locks, like the
+        paper's measured implementation (Table 1 SSSP rows)."""
+        rt = make_runtime(er_weighted)
+        r = sssp_delta(er_weighted, rt, 0, direction="push")
+        assert r.counters.cas == 0
+
+
+class TestEdgeCases:
+    def test_isolated_source(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 5, direction="push")
+        assert r.dist[5] == 0 and np.isinf(r.dist[0])
+
+    def test_two_vertex_graph(self):
+        g = from_edges(2, [(0, 1)], weights=[3.5])
+        for d in DIRECTIONS:
+            rt = make_runtime(g, P=2)
+            r = sssp_delta(g, rt, 0, direction=d)
+            assert r.dist[1] == 3.5

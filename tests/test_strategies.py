@@ -1,0 +1,140 @@
+"""Tests for the Section-5 acceleration strategies."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.reference import bfs_reference, is_proper_coloring
+from repro.generators import community_graph, load_dataset, road_network
+from repro.strategies import (
+    SwitchPolicy, conflict_removal_coloring, direction_optimizing_bfs,
+    frontier_exploit_coloring, pagerank_partition_aware,
+    triangle_count_partition_aware,
+)
+from repro.strategies.partition_awareness import pa_atomics_bounds
+from tests.conftest import make_runtime
+
+
+class TestDirectionOptimizingBFS:
+    def test_levels_correct(self, comm_graph):
+        ref = bfs_reference(comm_graph, 0)
+        rt = make_runtime(comm_graph)
+        r = direction_optimizing_bfs(comm_graph, rt, 0)
+        assert np.array_equal(r.level, ref)
+
+    def test_switches_on_dense_graph(self):
+        g = community_graph(1024, d_bar=16.0, seed=2)
+        root = int(np.argmax(np.diff(g.offsets)))
+        rt = make_runtime(g, P=8)
+        r = direction_optimizing_bfs(g, rt, root)
+        assert r.directions[0] == "push" and "pull" in r.directions
+
+    def test_stays_push_on_road_network(self):
+        # large enough that a lattice frontier never reaches n/beta
+        g = road_network(48, 48, seed=3, weighted=False)
+        root = int(np.argmax(np.diff(g.offsets)))
+        rt = make_runtime(g)
+        r = direction_optimizing_bfs(g, rt, root)
+        assert "pull" not in r.directions
+
+    def test_beats_pure_push_on_dense(self):
+        g = community_graph(1024, d_bar=16.0, seed=2)
+        root = int(np.argmax(np.diff(g.offsets)))
+        rt = make_runtime(g, P=8)
+        do = direction_optimizing_bfs(g, rt, root)
+        rt = make_runtime(g, P=8)
+        push = bfs(g, rt, root, direction="push")
+        assert do.time < push.time
+
+    def test_policy_hysteresis(self):
+        pol = SwitchPolicy(alpha=14, beta=24)
+        # fat frontier: enter pull
+        assert pol.choose("push", frontier_edges=1000, unexplored_edges=100,
+                          frontier_size=500, n=1000) == "pull"
+        # small frontier at the end: never enter pull
+        assert pol.choose("push", frontier_edges=1000, unexplored_edges=100,
+                          frontier_size=3, n=1000) == "push"
+        # shrink below n/beta: leave pull
+        assert pol.choose("pull", frontier_edges=0, unexplored_edges=0,
+                          frontier_size=3, n=1000) == "push"
+
+
+class TestFrontierExploit:
+    @pytest.mark.parametrize("kw", [{}, {"generic_switch": True},
+                                    {"greedy_switch": True}])
+    def test_always_proper(self, comm_graph, kw):
+        rt = make_runtime(comm_graph)
+        r = frontier_exploit_coloring(comm_graph, rt, **kw)
+        assert is_proper_coloring(comm_graph, r.colors)
+
+    def test_proper_on_disconnected(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        r = frontier_exploit_coloring(tiny_graph, rt)
+        assert is_proper_coloring(tiny_graph, r.colors)
+        assert np.all(r.colors >= 0)
+
+    def test_dense_needs_more_waves_than_sparse(self):
+        dense = load_dataset("orc", scale=10)
+        sparse = load_dataset("rca", scale=10)
+        rt = make_runtime(dense, P=8)
+        it_dense = frontier_exploit_coloring(dense, rt).iterations
+        rt = make_runtime(sparse, P=8)
+        it_sparse = frontier_exploit_coloring(sparse, rt).iterations
+        assert it_sparse < it_dense / 2
+
+    def test_greedy_switch_cuts_iterations(self):
+        g = load_dataset("orc", scale=10)
+        rt = make_runtime(g, P=8)
+        fe = frontier_exploit_coloring(g, rt)
+        rt = make_runtime(g, P=8)
+        grs = frontier_exploit_coloring(g, rt, greedy_switch=True)
+        assert grs.iterations < fe.iterations
+
+    def test_direction_label(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = frontier_exploit_coloring(comm_graph, rt, generic_switch=True)
+        assert r.direction == "FE-push+GS"
+
+
+class TestConflictRemoval:
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_single_pass_zero_conflicts(self, comm_graph, direction):
+        rt = make_runtime(comm_graph)
+        r = conflict_removal_coloring(comm_graph, rt, direction=direction)
+        assert is_proper_coloring(comm_graph, r.colors)
+        assert r.conflicts_per_iteration == [0]
+        assert r.iterations == 1
+
+    def test_on_road_network(self, road_graph):
+        rt = make_runtime(road_graph)
+        r = conflict_removal_coloring(road_graph, rt)
+        assert is_proper_coloring(road_graph, r.colors)
+
+
+class TestPartitionAwareness:
+    def test_pagerank_wrapper(self, comm_graph):
+        from repro.algorithms.reference import pagerank_reference
+        rt = make_runtime(comm_graph)
+        r = pagerank_partition_aware(comm_graph, rt, iterations=5)
+        assert np.allclose(r.ranks, pagerank_reference(comm_graph, 5))
+        assert r.counters.atomics_batched > 0
+
+    def test_triangle_wrapper(self, comm_graph):
+        from repro.algorithms.reference import triangle_per_vertex_reference
+        rt = make_runtime(comm_graph)
+        r = triangle_count_partition_aware(comm_graph, rt)
+        assert np.array_equal(r.per_vertex,
+                              triangle_per_vertex_reference(comm_graph))
+
+    def test_bounds_ordering(self, comm_graph):
+        lo, actual, hi = pa_atomics_bounds(comm_graph, 4)
+        assert lo == 0 and lo <= actual <= hi == 2 * comm_graph.m
+
+    def test_bounds_extremes(self):
+        from repro.graph import from_edges
+        # two disjoint components, each inside one owner's block: 0 remote
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert pa_atomics_bounds(g, 2)[1] == 0
+        # a bipartite edge set straddling the block boundary: all remote
+        g2 = from_edges(4, [(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert pa_atomics_bounds(g2, 2)[1] == 2 * g2.m

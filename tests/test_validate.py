@@ -1,0 +1,103 @@
+"""Tests for the Graph500-style result validators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, sssp_delta
+from repro.graph import from_edges
+from repro.graph.validate import (
+    ValidationError, validate_bfs_tree, validate_sssp,
+)
+from tests.conftest import make_runtime
+
+
+class TestBFSValidator:
+    def test_accepts_real_bfs(self, comm_graph):
+        rt = make_runtime(comm_graph)
+        r = bfs(comm_graph, rt, 0, direction="push")
+        validate_bfs_tree(comm_graph, 0, r.parent, r.level)
+
+    def test_accepts_pull_bfs(self, road_graph):
+        root = int(np.argmax(np.diff(road_graph.offsets)))
+        rt = make_runtime(road_graph)
+        r = bfs(road_graph, rt, root, direction="pull")
+        validate_bfs_tree(road_graph, root, r.parent, r.level)
+
+    def test_rejects_broken_root(self, tiny_graph):
+        parent = np.array([1, 0, 1, 0, 3, -1])
+        level = np.array([0, 1, 2, 1, 2, -1])
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(tiny_graph, 0, parent, level)
+
+    def test_rejects_non_edge_parent(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        r = bfs(tiny_graph, rt, 0, direction="push")
+        bad_parent = r.parent.copy()
+        bad_parent[4] = 1  # (1, 4) is not an edge
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(tiny_graph, 0, bad_parent, r.level)
+
+    def test_rejects_wrong_level(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        r = bfs(tiny_graph, rt, 0, direction="push")
+        bad_level = r.level.copy()
+        bad_level[4] = 7
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(tiny_graph, 0, r.parent, bad_level)
+
+    def test_rejects_missing_reachable_vertex(self, tiny_graph):
+        rt = make_runtime(tiny_graph)
+        r = bfs(tiny_graph, rt, 0, direction="push")
+        bad_parent, bad_level = r.parent.copy(), r.level.copy()
+        bad_parent[4] = -1
+        bad_level[4] = -1
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(tiny_graph, 0, bad_parent, bad_level)
+
+    def test_rejects_non_minimal_level(self):
+        # square 0-1-2-3-0: claiming 2 at level 3 via a longer path
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        parent = np.array([0, 0, 1, 0])
+        level = np.array([0, 1, 2, 1])
+        validate_bfs_tree(g, 0, parent, level)  # the true tree passes
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(g, 0, np.array([0, 0, 1, 2]),
+                              np.array([0, 1, 2, 3]))
+
+
+class TestSSSPValidator:
+    def test_accepts_real_sssp(self, er_weighted):
+        src = int(np.argmax(np.diff(er_weighted.offsets)))
+        rt = make_runtime(er_weighted)
+        r = sssp_delta(er_weighted, rt, src, direction="push")
+        validate_sssp(er_weighted, src, r.dist)
+
+    def test_rejects_nonzero_source(self, tiny_weighted):
+        dist = np.zeros(6)
+        dist[0] = 1.0
+        with pytest.raises(ValidationError):
+            validate_sssp(tiny_weighted, 0, dist)
+
+    def test_rejects_triangle_violation(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 0, direction="push")
+        bad = r.dist.copy()
+        bad[4] += 10.0  # now dist[4] > dist[3] + W(3,4)
+        with pytest.raises(ValidationError):
+            validate_sssp(tiny_weighted, 0, bad)
+
+    def test_rejects_too_small_distance(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 0, direction="push")
+        bad = r.dist.copy()
+        bad[2] -= 0.5  # no tight predecessor anymore
+        with pytest.raises(ValidationError):
+            validate_sssp(tiny_weighted, 0, bad)
+
+    def test_rejects_wrong_reachability(self, tiny_weighted):
+        rt = make_runtime(tiny_weighted)
+        r = sssp_delta(tiny_weighted, rt, 0, direction="push")
+        bad = r.dist.copy()
+        bad[5] = 99.0  # vertex 5 is isolated
+        with pytest.raises(ValidationError):
+            validate_sssp(tiny_weighted, 0, bad)
