@@ -55,6 +55,27 @@ def _build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiments",
                          help="regenerate the paper's tables and figures")
     exp.add_argument("rest", nargs=argparse.REMAINDER)
+
+    an = sub.add_parser(
+        "analyze",
+        help="race-detect and lint the push/pull kernels")
+    an.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: the shipped "
+                         "repro.algorithms package)")
+    an.add_argument("--lint", action="store_true",
+                    help="run only the static AST lint pass")
+    an.add_argument("--race", action="store_true",
+                    help="run only the dynamic race detector")
+    an.add_argument("--threads", "-P", type=int, default=4)
+    an.add_argument("--scale", type=int, default=120,
+                    help="vertex count of the ER check instance")
+    an.add_argument("--seed", type=int, default=7)
+    an.add_argument("--slack", type=float, default=4.0,
+                    help="multiplier on the PRAM conflict bounds")
+    an.add_argument("--algorithm", action="append", dest="algorithms",
+                    metavar="NAME",
+                    help="restrict the dynamic pass (repeatable); "
+                         "names as in Section 4: PR TC BFS SSSP-Δ BC BGC MST")
     return ap
 
 
@@ -156,6 +177,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.runner import analyze_algorithms
+
+    do_lint = args.lint or not args.race
+    do_race = args.race or not args.lint
+    failed = False
+
+    if do_lint:
+        paths = args.paths or [str(Path(__file__).parent / "algorithms")]
+        missing = [p for p in paths if not Path(p).exists()]
+        if missing:
+            print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+            return 2
+        findings = lint_paths(paths)
+        for f in findings:
+            print(f)
+        print(f"lint: {len(findings)} finding(s) over {len(paths)} path(s)")
+        failed |= bool(findings)
+
+    if do_race:
+        print(f"race detector: 7 algorithms x push/pull, "
+              f"P={args.threads}, ER n={args.scale}")
+        try:
+            runs = analyze_algorithms(
+                n=args.scale, P=args.threads, seed=args.seed,
+                slack=args.slack, algorithms=args.algorithms, progress=print)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        bad = [r for r in runs if not r.ok]
+        for r in bad:
+            print(r.check)
+            for race in r.report.races[:8]:
+                print("  " + str(race))
+        print(f"race: {len(bad)} failing cell(s) of {len(runs)}")
+        failed |= bool(bad)
+
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -171,6 +235,8 @@ def main(argv=None) -> int:
         return _cmd_stats(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     from repro.harness.run_all import main as run_all_main
     return run_all_main(args.rest)
 

@@ -122,7 +122,9 @@ class BFSState:
                     continue
                 # claim each unvisited neighbor with a CAS; in the
                 # deterministic superstep every attempt succeeds
-                mem.cas(self.parent_h, idx=fresh, mode="rand")
+                # the winning CAS also owns the level store
+                mem.cas(self.parent_h, idx=fresh, mode="rand",
+                        covers=[(self.level_h, fresh)])
                 mem.write(self.level_h, idx=fresh, mode="rand")
                 parent[fresh] = v
                 level[fresh] = nxt_level

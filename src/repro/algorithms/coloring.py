@@ -159,7 +159,10 @@ class BGCState:
                     found[0] += len(tgt)
                     if len(tgt):
                         words = tgt * self.row_words + cv // 64
-                        mem.lock(self.avail_h, idx=words, mode="rand")
+                        # one critical section per re-scheduled vertex:
+                        # clears its avail bit and raises its need flag
+                        mem.lock(self.avail_h, idx=words, mode="rand",
+                                 covers=[(self.need_h, tgt)])
                         mem.write(self.avail_h, idx=words, mode="rand")
                         mem.write(self.need_h, idx=tgt, mode="rand")
                         avail[tgt, cv] = False

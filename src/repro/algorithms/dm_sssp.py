@@ -25,7 +25,7 @@ message-count asymmetry rather than a time winner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -133,7 +133,9 @@ def boruvka_mst(g: CSRGraph, rt: SMRuntime, direction: str = PULL) -> MSTResult:
                     mem.branch_cond(len(fflag))
                     if len(idxs) == 0:
                         continue
-                    mem.cas(minw_h, idx=fflag[idxs], mode="rand")
+                    # the CAS-min claims the record slot too
+                    mem.cas(minw_h, idx=fflag[idxs], mode="rand",
+                            covers=[(rec_h, fflag[idxs])])
                     mem.write(rec_h, idx=fflag[idxs], count=3 * len(idxs),
                               mode="rand")
                     for i in idxs:

@@ -144,7 +144,8 @@ def _epoch_push(g, rt, mem, ga, wgt_h, dist, bidx, dist_h, bidx_h, b, delta,
             if len(tgt) == 0:
                 return
             # improving relaxations: lock around the (dist, bucket) update
-            mem.lock(dist_h, idx=tgt, mode="rand")
+            # -- the critical section covers both arrays
+            mem.lock(dist_h, idx=tgt, mode="rand", covers=[(bidx_h, tgt)])
             mem.write(dist_h, idx=tgt, mode="rand")
             mem.write(bidx_h, idx=tgt, mode="rand")
             np.minimum.at(dist, tgt, val)          # CRCW-CB combining write

@@ -1,0 +1,30 @@
+"""Correctness tooling for the push/pull contract (Section 3.8).
+
+Two layers:
+
+* :mod:`repro.analysis.race` -- "repro-tsan", a dynamic race detector
+  that wraps any memory model and reports unprotected conflicting
+  writes per barrier-delimited epoch.
+* :mod:`repro.analysis.lint` -- a static AST pass over the kernels
+  flagging stores that bypass the instrumented memory, push stores
+  without atomics, push-side ownership checks, and missing barriers.
+
+:mod:`repro.analysis.runner` drives the seven paper algorithms under
+the detector and :mod:`repro.analysis.crosscheck` compares the observed
+conflict counts against the Section-4 PRAM bounds.  The CLI surface is
+``python -m repro analyze``.
+"""
+
+from repro.analysis.crosscheck import CrossCheckResult, crosscheck, predicted_cost
+from repro.analysis.lint import LintFinding, lint_file, lint_paths, lint_source
+from repro.analysis.race import (
+    Race, RaceDetectingMemory, RaceError, RaceReport, attach_race_detector,
+)
+from repro.analysis.runner import ALGORITHMS, AnalysisRun, analyze_algorithms, run_one
+
+__all__ = [
+    "ALGORITHMS", "AnalysisRun", "CrossCheckResult", "LintFinding", "Race",
+    "RaceDetectingMemory", "RaceError", "RaceReport", "analyze_algorithms",
+    "attach_race_detector", "crosscheck", "lint_file", "lint_paths",
+    "lint_source", "predicted_cost", "run_one",
+]

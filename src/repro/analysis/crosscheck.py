@@ -1,0 +1,131 @@
+"""Cross-check observed conflicts against the PRAM k-relaxation bounds.
+
+The detector's per-epoch statistics (addresses plain-written / read /
+atomically touched by >= 2 threads) are the measured counterparts of
+the ``read_conflicts`` / ``write_conflicts`` terms the Section-4
+analyses predict.  Those analyses are Θ-bounds, so the check is
+directional, not exact:
+
+* **pull** variants must show **zero** plain-write conflicts (and an
+  empty race list) -- this is the hard half, the paper's ownership
+  discipline made operational.
+* **push** variants must keep their observed write-side conflicts
+  (plain + atomic overlap) within ``slack ×`` the predicted
+  ``write_conflicts`` bound, and likewise for reads.  Instance
+  parameters the bounds need (iteration counts L, diameter D, Δ-epoch
+  counts) are proxied by the run's own observed iteration counts, so
+  the comparison is per-instance rather than worst-case.
+
+A small additive allowance absorbs overlap the bounds do not model:
+offset-array reads at partition block boundaries, frontier-array scans,
+and similar O(P)-per-epoch shared-structure touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.race import RaceReport
+from repro.pram.costs import (
+    AlgorithmCost, bc_cost, bfs_cost, boman_coloring_cost, boruvka_cost,
+    pagerank_cost, sssp_delta_cost, triangle_count_cost,
+)
+from repro.pram.models import PRAM
+
+
+@dataclass(frozen=True)
+class CrossCheckResult:
+    """Verdict of one (algorithm, direction) run against its bound."""
+
+    algorithm: str
+    direction: str
+    ok: bool
+    observed_write: int      #: plain-write + atomic overlapped addresses
+    observed_read: int
+    predicted_write: float   #: Θ-bound evaluated at the instance
+    predicted_read: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "FAIL"
+        return (f"[{mark}] {self.algorithm}/{self.direction}: "
+                f"W {self.observed_write} <= ~{self.predicted_write:.0f}, "
+                f"R {self.observed_read} <= ~{self.predicted_read:.0f}"
+                + (f" -- {self.detail}" if self.detail else ""))
+
+
+def predicted_cost(algorithm: str, direction: str, *, n: int, m: int,
+                   d_hat: int, P: int, iterations: int = 1,
+                   inner_iterations: int = 1, sources: int | None = None,
+                   model: PRAM = PRAM.CRCW_CB) -> AlgorithmCost:
+    """Evaluate the Section-4 bound with observed instance parameters.
+
+    ``iterations`` proxies the analysis's L / D / (L/Δ) round counts
+    (the run's own superstep count); ``inner_iterations`` is Δ-
+    Stepping's total inner-loop count, ``sources`` BC's source count.
+    """
+    it = max(1, iterations)
+    if algorithm == "PR":
+        return pagerank_cost(direction, model, n, m, d_hat, P, L=it)
+    if algorithm == "TC":
+        return triangle_count_cost(direction, model, n, m, d_hat, P)
+    if algorithm == "BFS":
+        return bfs_cost(direction, model, n, m, d_hat, P, D=it)
+    if algorithm == "SSSP-Δ":
+        l_delta = max(1.0, inner_iterations / it)
+        return sssp_delta_cost(direction, model, n, m, d_hat, P,
+                               L_over_delta=it, l_delta=l_delta)
+    if algorithm == "BC":
+        return bc_cost(direction, model, n, m, d_hat, P, D=it,
+                       sources=sources)
+    if algorithm == "BGC":
+        return boman_coloring_cost(direction, model, n, m, d_hat, P, L=it)
+    if algorithm == "MST":
+        return boruvka_cost(direction, model, n, m, d_hat, P)
+    raise ValueError(f"no PRAM bound registered for algorithm {algorithm!r}")
+
+
+def crosscheck(algorithm: str, direction: str, report: RaceReport, *,
+               n: int, m: int, d_hat: int, P: int, iterations: int = 1,
+               inner_iterations: int = 1, sources: int | None = None,
+               slack: float = 4.0) -> CrossCheckResult:
+    """Compare one run's :class:`RaceReport` to its PRAM bound."""
+    cost = predicted_cost(algorithm, direction, n=n, m=m, d_hat=d_hat, P=P,
+                          iterations=iterations,
+                          inner_iterations=inner_iterations, sources=sources)
+    observed_w = report.write_conflicts + report.atomic_conflicts
+    observed_r = report.read_conflicts
+    # shared-structure touches the Θ-bounds ignore: offsets straddling
+    # block boundaries, frontier scans -- O(P) addresses per epoch
+    allowance = 8 * P * max(1, report.epochs)
+
+    problems = []
+    if not report.clean:
+        problems.append(f"{len(report.races)} race(s) recorded")
+    if direction == "pull":
+        if report.write_conflicts:
+            problems.append(
+                f"pull variant shows {report.write_conflicts} plain-write "
+                f"conflict(s); ownership discipline requires zero")
+    else:
+        bound_w = slack * cost.write_conflicts + allowance
+        if observed_w > bound_w:
+            problems.append(
+                f"write-side conflicts {observed_w} exceed "
+                f"{slack}x predicted {cost.write_conflicts:.0f} + {allowance}")
+    # push relaxations pre-read the remote addresses they then update
+    # atomically; Section 4 books those accesses under the write-
+    # conflict term, so the read bound inherits it for push
+    pred_r = cost.read_conflicts + (cost.write_conflicts
+                                    if direction != "pull" else 0.0)
+    bound_r = slack * pred_r + allowance
+    if observed_r > bound_r:
+        problems.append(
+            f"read conflicts {observed_r} exceed "
+            f"{slack}x predicted {cost.read_conflicts:.0f} + {allowance}")
+
+    return CrossCheckResult(
+        algorithm=algorithm, direction=direction, ok=not problems,
+        observed_write=observed_w, observed_read=observed_r,
+        predicted_write=cost.write_conflicts, predicted_read=cost.read_conflicts,
+        detail="; ".join(problems))

@@ -1,0 +1,412 @@
+"""Static lint pass over push/pull kernels (the "analyze --lint" half).
+
+The instrumented-algorithm convention is that every mutation of shared
+state inside a parallel region is *declared* to the memory model, and
+that remote writes in push kernels go through the atomic/lock
+primitives (Section 3.8).  These properties are checkable from the AST
+without running anything; four rules are enforced:
+
+``ANL001`` (unaccounted-store)
+    A parallel-region body stores into a shared array (subscript
+    assignment or ``np.<ufunc>.at``) but declares **no** store at all to
+    the memory model (no ``.write``/``.cas``/``.faa``/``.lock``): the
+    mutation is invisible to every counter, cache and conflict model.
+``ANL002`` (push-raw-store)
+    A push-classified body stores into shared arrays without a single
+    atomic/lock declaration on its push path -- the missing-atomics bug
+    class the race detector catches dynamically.
+``ANL003`` (push-ownership-check)
+    A push-classified body calls ``owned_write_check``: the ownership
+    assertion is the *pull* half of the contract; push code reaching it
+    indicates a confused variant.
+``ANL004`` (missing-barrier)
+    A function launches a region with ``barrier=False`` but never calls
+    ``.barrier()`` itself, so the region's accesses bleed into the next
+    epoch with no synchronization point.
+
+Direction classification is heuristic but matches the repo's idiom: a
+body (or an enclosing function) named ``*push*``/``*pull*``, or a body
+defined/storing under an ``if direction == PUSH:``-style branch.
+Unclassifiable bodies only get the direction-agnostic rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+REGION_METHODS = {"parallel_for": 1, "for_each_thread": 0, "sequential": 0}
+STORE_DECLS = {"write", "cas", "faa", "lock"}
+ATOMIC_DECLS = {"cas", "faa", "lock"}
+SCATTER_UFUNCS = {"add", "subtract", "minimum", "maximum", "multiply",
+                  "bitwise_or", "bitwise_and", "logical_or", "logical_and"}
+DIRECTION_CONSTS = {"PUSH": "push", "PUSH_PA": "push", "PULL": "pull",
+                    "push": "push", "push-pa": "push", "pull": "pull"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    rule: str
+    path: str
+    line: int
+    func: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.func}] {self.message}"
+
+
+def _opposite(direction: str) -> str:
+    return "pull" if direction == "push" else "push"
+
+
+def _direction_compared(test: ast.expr) -> str | None:
+    """'push'/'pull' if ``test`` is a ``direction == PUSH``-style compare."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)):
+        return None
+    for side in (test.left, test.comparators[0]):
+        if isinstance(side, ast.Name) and side.id in DIRECTION_CONSTS:
+            return DIRECTION_CONSTS[side.id]
+        if isinstance(side, ast.Constant) and side.value in DIRECTION_CONSTS:
+            return DIRECTION_CONSTS[side.value]
+    return None
+
+
+def _name_direction(chain: Iterable[str]) -> str | None:
+    """Innermost-first scan of a qualname chain for push/pull markers."""
+    for name in chain:
+        low = name.lower()
+        has_push, has_pull = "push" in low, "pull" in low
+        if has_push and not has_pull:
+            return "push"
+        if has_pull and not has_push:
+            return "pull"
+    return None
+
+
+def _store_target(node: ast.AST) -> str | None:
+    """Base array name of a subscript store target, if recognizable."""
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name):
+            return base.id
+        if isinstance(base, ast.Attribute):
+            return base.attr
+    return None
+
+
+def _scatter_target(call: ast.Call) -> str | None:
+    """Array name mutated by an ``np.<ufunc>.at(arr, ...)`` call."""
+    f = call.func
+    if (isinstance(f, ast.Attribute) and f.attr == "at"
+            and isinstance(f.value, ast.Attribute)
+            and f.value.attr in SCATTER_UFUNCS and call.args):
+        return _store_target_or_name(call.args[0])
+    return None
+
+
+def _store_target_or_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _BodyScan(ast.NodeVisitor):
+    """Collect stores/declarations/ownership-checks of one region body,
+    each tagged with the direction branch it sits under (or None)."""
+
+    def __init__(self) -> None:
+        self.stores: list[tuple] = []        # (name, line, ctx)
+        self.decls: list[tuple] = []         # (kind, line, ctx)
+        self.ownership_checks: list[tuple] = []  # (line, ctx)
+        self.local_names: set[str] = set()
+        self.params: set[str] = set()
+        self._ctx: str | None = None
+
+    def scan(self, fn: ast.AST, params: Iterable[str]) -> "_BodyScan":
+        self.params.update(params)
+        self.local_names.update(params)
+        body = fn.body if isinstance(body := getattr(fn, "body", None), list) \
+            else [ast.Expr(value=body)]
+        for stmt in body:
+            self.visit(stmt)
+        return self
+
+    # direction-branch context ------------------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        d = _direction_compared(node.test)
+        saved = self._ctx
+        self.visit(node.test)
+        self._ctx = d or saved
+        for stmt in node.body:
+            self.visit(stmt)
+        self._ctx = _opposite(d) if d else saved
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._ctx = saved
+
+    # stores ------------------------------------------------------------------
+    def _note_targets(self, targets: Iterable[ast.AST], line: int) -> None:
+        for tgt in targets:
+            if isinstance(tgt, ast.Tuple):
+                self._note_targets(tgt.elts, line)
+                continue
+            name = _store_target(tgt)
+            if name is not None:
+                # arr[t] / arr[vs] with a bare region-body parameter as
+                # the index is thread-private by the runtime's contract
+                # (disjoint chunks, per-thread slots)
+                sl = tgt.slice if isinstance(tgt, ast.Subscript) else None
+                if isinstance(sl, ast.Name) and sl.id in self.params:
+                    continue
+                self.stores.append((name, line, self._ctx))
+            elif isinstance(tgt, ast.Name):
+                self.local_names.add(tgt.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_targets(node.targets, node.lineno)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_targets([node.target], node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_targets([node.target], node.lineno)
+            self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            self.local_names.add(node.target.id)
+        elif isinstance(node.target, ast.Tuple):
+            for e in node.target.elts:
+                if isinstance(e, ast.Name):
+                    self.local_names.add(e.id)
+        self.generic_visit(node)
+
+    # calls -------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        scatter = _scatter_target(node)
+        if scatter is not None:
+            self.stores.append((scatter, node.lineno, self._ctx))
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr in STORE_DECLS:
+                self.decls.append((f.attr, node.lineno, self._ctx))
+            elif f.attr == "owned_write_check":
+                self.ownership_checks.append((node.lineno, self._ctx))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs: their stores belong to their own region (if any)
+        self.local_names.add(node.name)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def shared_stores(self) -> list[tuple]:
+        return [(n, ln, ctx) for n, ln, ctx in self.stores
+                if n not in self.local_names]
+
+
+@dataclass
+class _RegionBody:
+    fn: ast.AST                  # FunctionDef or Lambda target
+    qualname: str
+    chain: tuple                 # enclosing names, innermost first
+    def_ctx: str | None          # direction branch the def sits under
+    line: int
+
+
+class _ModuleIndex(ast.NodeVisitor):
+    """First pass: function defs by scope, region launch sites, barriers."""
+
+    def __init__(self) -> None:
+        self.scopes: list[dict] = [{}]
+        self.stack: list[tuple] = []          # (name, node)
+        self.ctx_stack: list[str | None] = [None]
+        self.defs_ctx: dict[int, str | None] = {}
+        self.defs_chain: dict[int, tuple] = {}
+        self.region_calls: list[tuple] = []   # (call, body_expr, enclosing, chain)
+        self.barrier_calls: dict[int, bool] = {}   # id(enclosing fn) -> True
+        self.barrier_false: list[tuple] = []  # (call node, enclosing fn, chain)
+
+    def _enclosing(self):
+        return self.stack[-1][1] if self.stack else None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.scopes[-1][node.name] = node
+        self.defs_ctx[id(node)] = self.ctx_stack[-1]
+        chain = (node.name,) + tuple(n for n, _ in reversed(self.stack))
+        self.defs_chain[id(node)] = chain
+        self.stack.append((node.name, node))
+        self.scopes.append({})
+        self.ctx_stack.append(None)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.ctx_stack.pop()
+        self.scopes.pop()
+        self.stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.stack.append((node.name, None))
+        self.scopes.append({})
+        for stmt in node.body:
+            self.visit(stmt)
+        self.scopes.pop()
+        self.stack.pop()
+
+    def visit_If(self, node: ast.If) -> None:
+        d = _direction_compared(node.test)
+        saved = self.ctx_stack[-1]
+        self.visit(node.test)
+        self.ctx_stack[-1] = d or saved
+        for stmt in node.body:
+            self.visit(stmt)
+        self.ctx_stack[-1] = _opposite(d) if d else saved
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self.ctx_stack[-1] = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        f = node.func
+        if isinstance(f, ast.Attribute):
+            if f.attr in REGION_METHODS:
+                pos = REGION_METHODS[f.attr]
+                body = None
+                for kw in node.keywords:
+                    if kw.arg == "body":
+                        body = kw.value
+                if body is None and len(node.args) > pos:
+                    body = node.args[pos]
+                chain = tuple(n for n, _ in reversed(self.stack))
+                if body is not None:
+                    self.region_calls.append(
+                        (node, body, self._enclosing(), chain,
+                         list(self.scopes), self.ctx_stack[-1]))
+                for kw in node.keywords:
+                    if (kw.arg == "barrier"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False):
+                        self.barrier_false.append(
+                            (node, self._enclosing(), chain))
+            elif f.attr == "barrier":
+                enc = self._enclosing()
+                self.barrier_calls[id(enc)] = True
+        self.generic_visit(node)
+
+
+def _resolve_body(body_expr: ast.AST, scopes: list[dict]):
+    """The FunctionDef a region's body argument refers to, if traceable."""
+    if isinstance(body_expr, ast.Name):
+        for scope in reversed(scopes):
+            if body_expr.id in scope:
+                return scope[body_expr.id]
+        return None
+    if isinstance(body_expr, ast.Lambda):
+        # unwrap `lambda: helper(...)` trampolines
+        if isinstance(body_expr.body, ast.Call) and \
+                isinstance(body_expr.body.func, ast.Name):
+            for scope in reversed(scopes):
+                if body_expr.body.func.id in scope:
+                    return scope[body_expr.body.func.id]
+        return body_expr
+    return None
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source; returns findings (empty = clean)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding("ANL000", path, exc.lineno or 0, "<module>",
+                            f"syntax error: {exc.msg}")]
+    index = _ModuleIndex()
+    index.visit(tree)
+    findings: list[LintFinding] = []
+
+    # ANL004: barrier=False with no explicit barrier in the same function
+    for call, enclosing, chain in index.barrier_false:
+        if not index.barrier_calls.get(id(enclosing)):
+            func = ".".join(reversed(chain)) or "<module>"
+            findings.append(LintFinding(
+                "ANL004", path, call.lineno, func,
+                "region launched with barrier=False but the function "
+                "never calls .barrier(): accesses leak into the next "
+                "epoch unsynchronized"))
+
+    seen_bodies: set[int] = set()
+    for call, body_expr, _enc, chain, scopes, call_ctx in index.region_calls:
+        fn = _resolve_body(body_expr, scopes)
+        if fn is None or id(fn) in seen_bodies:
+            continue
+        seen_bodies.add(id(fn))
+        if isinstance(fn, ast.Lambda):
+            qual = ".".join(reversed(chain) or ("<module>",)) + ".<lambda>"
+            name_chain = chain
+            def_ctx = call_ctx
+            params = [a.arg for a in fn.args.args]
+        else:
+            qual = ".".join(reversed(index.defs_chain.get(id(fn), (fn.name,))))
+            name_chain = index.defs_chain.get(id(fn), (fn.name,))
+            def_ctx = index.defs_ctx.get(id(fn)) or call_ctx
+            params = [a.arg for a in fn.args.args]
+        scan = _BodyScan().scan(fn, params)
+        direction = def_ctx or _name_direction(name_chain)
+        shared = scan.shared_stores()
+
+        if shared and not scan.decls:
+            lines = sorted({ln for _, ln, _ in shared})
+            names = sorted({n for n, _, _ in shared})
+            findings.append(LintFinding(
+                "ANL001", path, lines[0], qual,
+                f"stores to shared array(s) {names} bypass the "
+                f"instrumented memory (no write/cas/faa/lock declared "
+                f"in the region body; store lines {lines})"))
+
+        push_stores = [(n, ln) for n, ln, ctx in shared
+                       if (ctx or direction) == "push"]
+        # an atomic/lock protects the push path unless it sits in an
+        # explicit pull branch
+        push_atomics = [d for d in scan.decls
+                        if d[0] in ATOMIC_DECLS and d[2] != "pull"]
+        if push_stores and not push_atomics:
+            names = sorted({n for n, _ in push_stores})
+            findings.append(LintFinding(
+                "ANL002", path, push_stores[0][1], qual,
+                f"push kernel stores to shared array(s) {names} "
+                f"without any atomic/lock declaration: remote "
+                f"writes must go through cas/faa/lock (Section 3.8)"))
+
+        for ln, ctx in scan.ownership_checks:
+            if (ctx or direction) == "push":
+                findings.append(LintFinding(
+                    "ANL003", path, ln, qual,
+                    "push kernel calls owned_write_check: the ownership "
+                    "assertion is the pull contract; push variants "
+                    "declare remote writes with atomics/locks instead"))
+
+    return findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    """Lint files and/or directories (recursing into ``*.py``)."""
+    findings: list[LintFinding] = []
+    for raw in paths:
+        p = Path(raw)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,143 @@
+"""Drive the seven paper algorithms under the race detector.
+
+This is the dynamic half of ``python -m repro analyze``: every
+algorithm runs in both directions on a small deterministic instance
+with a :class:`~repro.analysis.race.RaceDetectingMemory` attached, and
+each run's conflict statistics are cross-checked against its Section-4
+PRAM bound.  The same entry points back the opt-in pytest fixture, so
+a kernel regression that introduces an undeclared remote write fails
+both the CLI gate and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.bfs import bfs
+from repro.algorithms.coloring import boman_coloring
+from repro.algorithms.mst_boruvka import boruvka_mst
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.algorithms.triangle import triangle_count
+from repro.analysis.crosscheck import CrossCheckResult, crosscheck
+from repro.analysis.race import RaceReport, attach_race_detector
+from repro.generators import erdos_renyi
+from repro.graph.csr import CSRGraph
+from repro.machine.cost_model import XC30, MachineSpec
+from repro.machine.memory import CountingMemory
+from repro.runtime.sm import SMRuntime
+
+#: the seven instrumented algorithms of the paper, in Section-4 order
+ALGORITHMS = ("PR", "TC", "BFS", "SSSP-Δ", "BC", "BGC", "MST")
+
+#: algorithms that need edge weights on their input graph
+WEIGHTED = frozenset({"SSSP-Δ", "MST"})
+
+
+@dataclass(frozen=True)
+class AnalysisRun:
+    """One (algorithm, direction) execution under the detector."""
+
+    algorithm: str
+    direction: str
+    report: RaceReport
+    check: CrossCheckResult
+    iterations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.clean and self.check.ok
+
+    def __str__(self) -> str:
+        status = "clean" if self.report.clean else \
+            f"{len(self.report.races)} RACE(S)"
+        return (f"{self.algorithm:7s} {self.direction:5s}  {status:12s} "
+                f"epochs={self.report.epochs:4d}  "
+                f"Wconf={self.report.write_conflicts + self.report.atomic_conflicts:7d}  "
+                f"Rconf={self.report.read_conflicts:7d}  "
+                f"bound={'ok' if self.check.ok else 'FAIL'}")
+
+
+def _dispatch(algorithm: str, g: CSRGraph, rt: SMRuntime, direction: str):
+    """Run one algorithm; returns its AlgoResult."""
+    if algorithm == "PR":
+        return pagerank(g, rt, direction=direction, iterations=5)
+    if algorithm == "TC":
+        return triangle_count(g, rt, direction=direction)
+    if algorithm == "BFS":
+        return bfs(g, rt, root=0, direction=direction)
+    if algorithm == "SSSP-Δ":
+        return sssp_delta(g, rt, source=0, direction=direction)
+    if algorithm == "BC":
+        return betweenness_centrality(g, rt, direction=direction,
+                                      sources=4, seed=0)
+    if algorithm == "BGC":
+        return boman_coloring(g, rt, direction=direction)
+    if algorithm == "MST":
+        return boruvka_mst(g, rt, direction=direction)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def run_one(algorithm: str, g: CSRGraph, direction: str, P: int = 4,
+            machine: MachineSpec = XC30,
+            track_read_conflicts: bool = True):
+    """Run one (algorithm, direction) under a fresh detector.
+
+    Returns ``(report, result)``.
+    """
+    m = machine.scaled(64)
+    rt = SMRuntime(g, P=P, machine=m, memory=CountingMemory(m.hierarchy))
+    detector = attach_race_detector(
+        rt, track_read_conflicts=track_read_conflicts)
+    result = _dispatch(algorithm, g, rt, direction)
+    return detector.report(), result
+
+
+def _crosscheck_params(algorithm: str, result) -> dict:
+    it = max(1, int(getattr(result, "iterations", 1) or 1))
+    params = {"iterations": it}
+    if algorithm == "SSSP-Δ":
+        params["iterations"] = max(1, int(getattr(result, "epochs", it)))
+        params["inner_iterations"] = max(
+            1, int(getattr(result, "inner_iterations", it)))
+    if algorithm == "BC":
+        params["sources"] = max(1, int(getattr(result, "n_sources", it)))
+    return params
+
+
+def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
+                       d_bar: float = 4.0, slack: float = 4.0,
+                       algorithms: Iterable[str] | None = None,
+                       directions: Iterable[str] = ("push", "pull"),
+                       machine: MachineSpec = XC30,
+                       progress: Callable[[str], None] | None = None
+                       ) -> list[AnalysisRun]:
+    """Run the full matrix; returns one :class:`AnalysisRun` per cell."""
+    algos = tuple(algorithms) if algorithms else ALGORITHMS
+    unknown = set(algos) - set(ALGORITHMS)
+    if unknown:
+        raise ValueError(f"unknown algorithm(s) {sorted(unknown)}; "
+                         f"choose from {ALGORITHMS}")
+    plain = erdos_renyi(n, d_bar=d_bar, seed=seed)
+    weighted = erdos_renyi(n, d_bar=d_bar, seed=seed, weighted=True)
+
+    runs: list[AnalysisRun] = []
+    for algorithm in algos:
+        g = weighted if algorithm in WEIGHTED else plain
+        for direction in directions:
+            report, result = run_one(algorithm, g, direction, P=P,
+                                     machine=machine)
+            check = crosscheck(
+                algorithm, direction, report,
+                n=g.n, m=g.m, d_hat=g.max_degree, P=P, slack=slack,
+                **_crosscheck_params(algorithm, result))
+            run = AnalysisRun(
+                algorithm=algorithm, direction=direction, report=report,
+                check=check,
+                iterations=int(getattr(result, "iterations", 1) or 1))
+            runs.append(run)
+            if progress is not None:
+                progress(str(run))
+    return runs

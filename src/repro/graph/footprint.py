@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partition1D

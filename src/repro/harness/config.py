@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.machine.cost_model import MACHINES, MachineSpec, XC30
+from repro.machine.cost_model import MachineSpec, XC30
 from repro.machine.memory import CacheSimMemory, CountingMemory
 from repro.runtime.sm import SMRuntime
 

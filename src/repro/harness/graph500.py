@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.algorithms.bfs import bfs
 from repro.generators.kronecker import rmat
-from repro.graph.csr import CSRGraph
 from repro.graph.validate import validate_bfs_tree
 from repro.harness.config import DEFAULT, ExperimentConfig
 from repro.machine.memory import CountingMemory

@@ -28,6 +28,7 @@ executing (:meth:`MemoryModel.set_counters`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -105,6 +106,26 @@ class MemoryModel:
         """Redirect event accounting (e.g. to the current thread)."""
         self.counters = counters
 
+    # -- runtime hooks (no-ops here) ----------------------------------------------
+    # The SM runtime narrates its execution structure to the memory
+    # model: which simulated thread is issuing accesses, when a parallel
+    # region starts/ends, and when a barrier retires.  The counting
+    # models ignore all of it (CacheSimMemory overrides set_thread for
+    # its private caches); repro.analysis.RaceDetectingMemory uses the
+    # full protocol to delimit conflict epochs.
+
+    def set_thread(self, tid: int) -> None:
+        """The simulated thread now issuing accesses."""
+
+    def region_begin(self) -> None:
+        """A parallel region (fork) starts; accesses are now concurrent."""
+
+    def region_end(self) -> None:
+        """The parallel region's threads joined (but no barrier yet)."""
+
+    def on_barrier(self) -> None:
+        """A full barrier retired: concurrent-epoch boundary."""
+
     # -- data accesses ----------------------------------------------------------
     # Access descriptors: pass ``idx`` (scalar or array of item indices),
     # or ``start``+``count`` for a streaming range, or just ``count`` when
@@ -129,11 +150,13 @@ class MemoryModel:
 
     def faa(self, handle: ArrayHandle, idx=None, count: int | None = None,
             mode: str = "rand", start: int | None = None,
-            batched: bool = False) -> None:
+            batched: bool = False, covers: Sequence | None = None) -> None:
         """Fetch-and-add: one atomic instruction per item (plus its R+W).
 
         ``batched`` marks a segregated same-array atomic stream (PA's
-        remote phase), which the cost model discounts.
+        remote phase), which the cost model discounts.  ``covers`` (see
+        :meth:`lock`) declares sibling addresses the atomic protects;
+        it costs nothing here and is read by the race detector.
         """
         n = _count(idx, count)
         c = self.counters
@@ -148,8 +171,14 @@ class MemoryModel:
 
     def cas(self, handle: ArrayHandle, idx=None, count: int | None = None,
             successes: int | None = None, mode: str = "rand",
-            start: int | None = None, batched: bool = False) -> None:
-        """Compare-and-swap: one atomic per attempt; failures still cost."""
+            start: int | None = None, batched: bool = False,
+            covers: Sequence | None = None) -> None:
+        """Compare-and-swap: one atomic per attempt; failures still cost.
+
+        ``covers`` (see :meth:`lock`) declares sibling addresses whose
+        plain writes ride on the successful CAS (e.g. a claimed slot's
+        payload fields); cost-neutral, consumed by the race detector.
+        """
         n = _count(idx, count)
         c = self.counters
         c.atomics += n
@@ -164,8 +193,17 @@ class MemoryModel:
         self._touch(handle, idx, n, mode, start)
 
     def lock(self, handle: ArrayHandle, idx=None, count: int | None = None,
-             mode: str = "rand", start: int | None = None) -> None:
-        """Lock acquisition + release around a critical section."""
+             mode: str = "rand", start: int | None = None,
+             covers: Sequence | None = None) -> None:
+        """Lock acquisition + release around a critical section.
+
+        ``covers`` declares the critical section's *contents*: an
+        iterable of ``(handle, idx)`` pairs naming sibling addresses the
+        same lock protects (e.g. Δ-Stepping's (dist, bucket) pair lives
+        in two arrays guarded by one lock).  It adds no events -- the
+        race detector uses it to tell protected plain writes from
+        undeclared remote stores.
+        """
         n = _count(idx, count)
         c = self.counters
         c.locks += n

@@ -14,10 +14,9 @@ measured event counts respect the bounds derived here.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.pram.models import PRAM
-from repro.pram.primitives import k_bar
 
 
 def _log(x: float) -> float:

@@ -12,10 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.harness.charts import bar_chart
-from repro.machine.cost_model import MachineSpec
 from repro.runtime.sm import SMRuntime
 
 

@@ -17,7 +17,7 @@ remote writes through the atomic/lock memory primitives.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -87,12 +87,18 @@ class SMRuntime:
             c.reset()
         self.time = 0.0
         self.region_count = 0
+        # rebind accounting to thread 0: without this, events issued
+        # between runs land on whichever thread happened to execute last
+        self._active_thread = None
+        self.mem.set_counters(self.thread_counters[0])
 
     def _activate(self, t: int) -> None:
         self._active_thread = t
         self.mem.set_counters(self.thread_counters[t])
         if isinstance(self.mem, CacheSimMemory):
             self.mem.set_thread(min(t, self.mem.n_threads - 1))
+        else:
+            self.mem.set_thread(t)
 
     def owned_write_check(self, v) -> None:
         """Raise if the executing thread writes a vertex it does not own.
@@ -144,9 +150,11 @@ class SMRuntime:
         the region's time is that single thread's cost.
         """
         self._activate(thread)
+        self.mem.region_begin()
         before = self.machine.time(self.thread_counters[thread])
         body()
         self.time += self.machine.time(self.thread_counters[thread]) - before
+        self.mem.region_end()
         if barrier:
             self.barrier()
 
@@ -156,16 +164,19 @@ class SMRuntime:
             c.barriers += 1
         self.time += self.machine.w_barrier
         self.region_count += 1
+        self.mem.on_barrier()
 
     # -- internals -----------------------------------------------------------------
     def _region(self, chunks: Sequence[np.ndarray],
                 body: Callable[[int, np.ndarray], None], barrier: bool) -> None:
         spans = []
+        self.mem.region_begin()
         for t, chunk in enumerate(chunks):
             self._activate(t)
             before = self.machine.time(self.thread_counters[t])
             body(t, chunk)
             spans.append(self.machine.time(self.thread_counters[t]) - before)
+        self.mem.region_end()
         self.time += self._region_span(spans)
         if barrier:
             self.barrier()

@@ -11,10 +11,9 @@ almost all of V and the sequential phase dominates.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms.coloring import BGCState, ColoringResult
-from repro.algorithms.common import PULL, PUSH, check_direction
+from repro.algorithms.common import PUSH, check_direction
 from repro.graph.csr import CSRGraph
 from repro.runtime.sm import SMRuntime
 

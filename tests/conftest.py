@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.race import attach_race_detector
 from repro.generators import (
     community_graph, erdos_renyi, purchase_graph, rmat, road_network,
 )
@@ -72,6 +73,29 @@ def make_runtime(g: CSRGraph, P: int = 4, check_ownership: bool = False,
 @pytest.fixture
 def rt_factory():
     return make_runtime
+
+
+@pytest.fixture
+def race_rt_factory():
+    """Like ``rt_factory`` but with the race detector attached.
+
+    Any test can opt into race checking by building its runtimes
+    through this factory; at teardown every runtime's race report must
+    be clean or the test fails.
+    """
+    detectors = []
+
+    def factory(g: CSRGraph, P: int = 4, check_ownership: bool = False,
+                machine=XC30, **detector_kw) -> SMRuntime:
+        rt = make_runtime(g, P=P, check_ownership=check_ownership,
+                          machine=machine)
+        detectors.append(attach_race_detector(rt, **detector_kw))
+        return rt
+
+    yield factory
+    for det in detectors:
+        report = det.report()
+        assert report.clean, report.summary()
 
 
 def assert_levels_match(level: np.ndarray, ref: np.ndarray) -> None:

@@ -1,0 +1,37 @@
+"""A deliberately broken push kernel -- the analysis tests' crash dummy.
+
+The kernel scatters into every neighbor's accumulator with a plain
+store and never declares an atomic, violating the Section-3.8 push
+contract two ways:
+
+* statically, the lint pass must flag the raw remote store (ANL002);
+* dynamically, the race detector must report write-write races on
+  ``broken.acc`` when two threads share a neighbor.
+
+Kept under ``tests/fixtures/`` so the shipped ``repro.algorithms``
+package stays lint-clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def broken_push_accumulate(g, rt) -> np.ndarray:
+    """Push +1 into every neighbor of every vertex -- sans atomics."""
+    mem = rt.mem
+    acc = np.zeros(g.n)
+    acc_h = mem.register("broken.acc", acc)
+
+    def push_body(t: int, vs: np.ndarray) -> None:
+        for v in vs:
+            nbrs = g.adj[g.offsets[v]:g.offsets[v + 1]]
+            if len(nbrs) == 0:
+                continue
+            acc[nbrs] += 1.0
+            # BUG: a remote scatter declared as a plain write; the push
+            # contract requires cas/faa/lock here
+            mem.write(acc_h, idx=nbrs, mode="rand")
+
+    rt.for_each_thread(push_body)
+    return acc

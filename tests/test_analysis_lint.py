@@ -1,0 +1,185 @@
+"""Tests for the static AST lint pass over push/pull kernels."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+ALGORITHMS_DIR = Path(__file__).parent.parent / "src" / "repro" / "algorithms"
+FIXTURE = Path(__file__).parent / "fixtures" / "bad_push_kernel.py"
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestShippedKernels:
+    def test_algorithms_package_is_clean(self):
+        findings = lint_paths([ALGORITHMS_DIR])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_broken_fixture_is_flagged(self):
+        findings = lint_file(FIXTURE)
+        assert findings, "the seeded raw remote store must be flagged"
+        assert "ANL002" in _rules(findings)
+
+
+class TestRules:
+    def test_anl001_store_bypassing_memory(self):
+        src = """
+def kernel(rt, mem, h, shared):
+    def body(t, vs):
+        shared[vs + 1] = 0.0
+    rt.for_each_thread(body)
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL001"}
+        assert "shared" in findings[0].message
+
+    def test_anl001_scatter_ufunc_counts_as_store(self):
+        src = """
+import numpy as np
+def kernel(rt, shared):
+    def body(t, vs):
+        np.add.at(shared, vs * 2, 1.0)
+    rt.parallel_for(items, body)
+"""
+        assert _rules(lint_source(src)) == {"ANL001"}
+
+    def test_anl001_not_raised_when_declared(self):
+        src = """
+def kernel(rt, mem, h, shared):
+    def body(t, vs):
+        shared[vs + 1] = 0.0
+        mem.write(h, idx=vs + 1, mode="rand")
+    rt.for_each_thread(body)
+"""
+        assert lint_source(src) == []
+
+    def test_local_temporaries_are_exempt(self):
+        src = """
+import numpy as np
+def kernel(rt, mem, h):
+    def body(t, vs):
+        tmp = np.zeros(8)
+        tmp[3] = 1.0
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body)
+"""
+        assert lint_source(src) == []
+
+    def test_param_indexed_slots_are_exempt(self):
+        """arr[t] / arr[vs] are thread-private by the runtime contract."""
+        src = """
+def kernel(rt, scratch, owned):
+    def body(t, vs):
+        scratch[t] = 1.0
+        owned[vs] = 0.0
+    rt.for_each_thread(body)
+"""
+        assert lint_source(src) == []
+
+    def test_anl002_push_store_without_atomics(self):
+        src = """
+def kernel(rt, mem, h, level):
+    def push_body(t, vs):
+        level[vs + 1] = 0
+        mem.write(h, idx=vs + 1, mode="rand")
+    rt.parallel_for(items, push_body)
+"""
+        assert _rules(lint_source(src)) == {"ANL002"}
+
+    def test_anl002_satisfied_by_cas(self):
+        src = """
+def kernel(rt, mem, h, level):
+    def push_body(t, vs):
+        mem.cas(h, idx=vs + 1, mode="rand")
+        level[vs + 1] = 0
+        mem.write(h, idx=vs + 1, mode="rand")
+    rt.parallel_for(items, push_body)
+"""
+        assert lint_source(src) == []
+
+    def test_direction_branch_classification(self):
+        """Stores under `if direction == PUSH:` are push even in a
+        neutrally-named body."""
+        src = """
+def kernel(rt, mem, h, val, direction):
+    def body(t, vs):
+        if direction == PUSH:
+            val[vs + 1] = 1
+            mem.write(h, idx=vs + 1, mode="rand")
+        else:
+            val[vs] = 1
+            mem.write(h, idx=vs, mode="rand")
+    rt.for_each_thread(body)
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL002"}
+
+    def test_anl003_ownership_check_in_push(self):
+        src = """
+def kernel(rt, mem, h, val):
+    def push_body(t, vs):
+        rt.owned_write_check(vs)
+        val[vs + 1] = 1
+        mem.cas(h, idx=vs + 1, mode="rand")
+        mem.write(h, idx=vs + 1, mode="rand")
+    rt.parallel_for(items, push_body)
+"""
+        assert _rules(lint_source(src)) == {"ANL003"}
+
+    def test_ownership_check_in_pull_is_fine(self):
+        src = """
+def kernel(rt, mem, h, val):
+    def pull_body(t, vs):
+        rt.owned_write_check(vs)
+        val[vs] = 1
+        mem.write(h, idx=vs, mode="rand")
+    rt.for_each_thread(pull_body)
+"""
+        assert lint_source(src) == []
+
+    def test_anl004_missing_barrier(self):
+        src = """
+def kernel(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+"""
+        assert _rules(lint_source(src)) == {"ANL004"}
+
+    def test_anl004_explicit_barrier_suffices(self):
+        src = """
+def kernel(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+    rt.barrier()
+"""
+        assert lint_source(src) == []
+
+    def test_lambda_trampoline_is_resolved(self):
+        src = """
+def kernel(rt, mem, h, shared):
+    def helper(lo, hi):
+        shared[lo:hi] = 0.0
+    rt.sequential(lambda: helper(0, 8))
+"""
+        assert _rules(lint_source(src)) == {"ANL001"}
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n")
+        assert _rules(findings) == {"ANL000"}
+
+
+class TestCLIExitCodes:
+    def test_lint_clean_kernels_exit_zero(self):
+        from repro.__main__ import main
+        assert main(["analyze", "--lint", str(ALGORITHMS_DIR)]) == 0
+
+    def test_lint_broken_fixture_exit_nonzero(self, capsys):
+        from repro.__main__ import main
+        assert main(["analyze", "--lint", str(FIXTURE)]) != 0
+        assert "ANL002" in capsys.readouterr().out

@@ -1,7 +1,6 @@
 """Tests for the SpMM-batched algebraic betweenness centrality."""
 
 import numpy as np
-import pytest
 
 import networkx as nx
 

@@ -1,6 +1,5 @@
 """Tests for the plain-text chart helpers."""
 
-import pytest
 
 from repro.harness.charts import bar_chart, log_bar_chart, sparkline
 from repro.harness.tables import render_series

@@ -1,6 +1,5 @@
 """Correctness + instrumentation tests for Boman graph coloring."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

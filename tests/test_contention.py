@@ -1,7 +1,6 @@
 """Tests for the push-write contention analysis."""
 
 import numpy as np
-import pytest
 
 from repro.generators import load_dataset, road_network
 from repro.graph import Partition1D, from_edges

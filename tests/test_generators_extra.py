@@ -1,6 +1,5 @@
 """Tests for the extra synthetic families."""
 
-import numpy as np
 import pytest
 
 import networkx as nx

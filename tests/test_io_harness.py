@@ -5,8 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.generators import purchase_graph
-from repro.graph import from_edges, relabel_random
+from repro.graph import relabel_random
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.harness.config import DEFAULT, QUICK
 from repro.harness.experiments import ALL, table2

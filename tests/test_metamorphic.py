@@ -17,7 +17,7 @@ from repro.algorithms import (
 )
 from repro.algorithms.connected_components import connected_components
 from repro.generators import erdos_renyi
-from repro.graph import from_edges, relabel_random
+from repro.graph import from_edges
 from tests.conftest import make_runtime
 
 

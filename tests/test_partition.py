@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.graph import Partition1D, PartitionAwareCSR, from_edges
-from repro.generators import community_graph
 
 
 class TestPartition1D:

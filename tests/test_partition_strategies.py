@@ -5,7 +5,7 @@ import pytest
 
 from repro.algorithms.pagerank import pagerank
 from repro.algorithms.reference import pagerank_reference
-from repro.graph import PartitionAwareCSR, Partition1D
+from repro.graph import PartitionAwareCSR
 from repro.graph.partition_strategies import (
     BlockPartition, HashPartition, LocalityPartition, bfs_ordering, edge_cut,
 )

@@ -1,0 +1,84 @@
+"""Push and pull variants must compute the same answer (Section 3).
+
+Every pair runs on a small Erdős–Rényi and a small Kronecker (R-MAT)
+instance through the race-checking runtime factory, so these tests
+double as a no-undeclared-conflict regression for both directions.
+
+"Same answer" is per-algorithm: exact equality for integer outputs
+(BFS levels, triangle counts), floating tolerance for accumulations
+(PR, SSSP, BC, MST weight), and semantic equivalence for coloring
+(both proper; the palettes may differ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality, bfs, boman_coloring, boruvka_mst, pagerank,
+    sssp_delta, triangle_count,
+)
+from repro.algorithms.reference import is_proper_coloring, mst_weight_reference
+from repro.generators import erdos_renyi, rmat
+
+
+def _plain_graphs():
+    return [
+        pytest.param(erdos_renyi(150, d_bar=4.0, seed=7), id="er"),
+        pytest.param(rmat(7, d_bar=6.0, seed=13), id="kron"),
+    ]
+
+
+def _weighted_graphs():
+    return [
+        pytest.param(erdos_renyi(120, d_bar=4.0, seed=11, weighted=True),
+                     id="er-w"),
+        pytest.param(rmat(7, d_bar=5.0, seed=17, weighted=True), id="kron-w"),
+    ]
+
+
+@pytest.mark.parametrize("g", _plain_graphs())
+class TestUnweighted:
+    def test_pagerank(self, g, race_rt_factory):
+        push = pagerank(g, race_rt_factory(g), direction="push", iterations=10)
+        pull = pagerank(g, race_rt_factory(g), direction="pull", iterations=10)
+        assert np.allclose(push.ranks, pull.ranks)
+
+    def test_bfs(self, g, race_rt_factory):
+        push = bfs(g, race_rt_factory(g), root=0, direction="push")
+        pull = bfs(g, race_rt_factory(g), root=0, direction="pull")
+        assert np.array_equal(push.level, pull.level)
+
+    def test_triangle_count(self, g, race_rt_factory):
+        push = triangle_count(g, race_rt_factory(g), direction="push")
+        pull = triangle_count(g, race_rt_factory(g), direction="pull")
+        assert np.array_equal(push.per_vertex, pull.per_vertex)
+
+    def test_betweenness_centrality(self, g, race_rt_factory):
+        sources = [0, 3, 11, 29]
+        push = betweenness_centrality(g, race_rt_factory(g), direction="push",
+                                      sources=sources)
+        pull = betweenness_centrality(g, race_rt_factory(g), direction="pull",
+                                      sources=sources)
+        assert np.allclose(push.bc, pull.bc)
+
+    def test_coloring(self, g, race_rt_factory):
+        push = boman_coloring(g, race_rt_factory(g), direction="push")
+        pull = boman_coloring(g, race_rt_factory(g), direction="pull")
+        assert is_proper_coloring(g, push.colors)
+        assert is_proper_coloring(g, pull.colors)
+
+
+@pytest.mark.parametrize("g", _weighted_graphs())
+class TestWeighted:
+    def test_sssp_delta(self, g, race_rt_factory):
+        push = sssp_delta(g, race_rt_factory(g), source=0, direction="push")
+        pull = sssp_delta(g, race_rt_factory(g), source=0, direction="pull")
+        assert np.allclose(push.dist, pull.dist, equal_nan=True)
+
+    def test_boruvka_mst(self, g, race_rt_factory):
+        push = boruvka_mst(g, race_rt_factory(g), direction="push")
+        pull = boruvka_mst(g, race_rt_factory(g), direction="pull")
+        assert push.total_weight == pytest.approx(pull.total_weight)
+        assert push.total_weight == pytest.approx(mst_weight_reference(g))

@@ -120,6 +120,45 @@ class TestSMRuntime:
         assert rt.time == 0.0
         assert rt.total_counters().barriers == 0
 
+    def test_reset_rebinds_accounting_to_thread_0(self, er_graph):
+        """Events issued after reset() must land on thread 0, not on
+        whichever thread happened to execute last before the reset."""
+        rt = make_runtime(er_graph, P=4)
+        h = rt.mem.register("x", np.zeros(32))
+        rt.for_each_thread(lambda t, vs: None)   # leaves thread 3 active
+        rt.reset()
+        assert rt._active_thread is None
+        rt.mem.read(h, count=7)
+        assert rt.thread_counters[0].reads == 7
+        assert all(c.reads == 0 for c in rt.thread_counters[1:])
+
+    def test_ownership_violation_on_non_owned_pull_write(self, er_graph):
+        """A pull kernel writing a remote vertex trips the Section-3.8
+        assertion at the exact offending write."""
+        rt = make_runtime(er_graph, P=4, check_ownership=True)
+        x = np.zeros(er_graph.n)
+        h = rt.mem.register("pull.x", x)
+
+        def pull_body(t, vs):
+            victim = (int(vs[-1]) + 1) % er_graph.n   # next block's vertex
+            rt.owned_write_check(victim)
+            x[victim] = 1.0
+            rt.mem.write(h, idx=victim, mode="rand")
+
+        with pytest.raises(OwnershipViolation, match="non-owned vertex"):
+            rt.for_each_thread(pull_body)
+
+    def test_shipped_pull_kernels_respect_ownership(self, er_graph):
+        """The real pull variants run clean under check_ownership."""
+        from repro.algorithms import boman_coloring, pagerank, triangle_count
+
+        for algo in (lambda rt: pagerank(er_graph, rt, direction="pull",
+                                         iterations=3),
+                     lambda rt: triangle_count(er_graph, rt, direction="pull"),
+                     lambda rt: boman_coloring(er_graph, rt,
+                                               direction="pull")):
+            algo(make_runtime(er_graph, P=4, check_ownership=True))
+
     def test_default_memory_model(self, er_graph):
         rt = SMRuntime(er_graph, P=2, machine=XC30)
         assert isinstance(rt.mem, CountingMemory)
