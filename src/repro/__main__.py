@@ -66,9 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="run only the static AST lint pass")
     an.add_argument("--race", action="store_true",
                     help="run only the dynamic race detector")
+    an.add_argument("--dm", action="store_true",
+                    help="run only the distributed-memory epoch checker")
+    an.add_argument("--dataset", default="er", choices=("er", "rmat"),
+                    help="instance family for the dynamic pass")
     an.add_argument("--threads", "-P", type=int, default=4)
     an.add_argument("--scale", type=int, default=120,
-                    help="vertex count of the ER check instance")
+                    help="vertex count of the check instance")
     an.add_argument("--seed", type=int, default=7)
     an.add_argument("--slack", type=float, default=4.0,
                     help="multiplier on the PRAM conflict bounds")
@@ -183,8 +187,10 @@ def _cmd_analyze(args) -> int:
     from repro.analysis.lint import lint_paths
     from repro.analysis.runner import analyze_algorithms
 
-    do_lint = args.lint or not args.race
-    do_race = args.race or not args.lint
+    # each flag selects its pass; with none given, run everything
+    do_lint = args.lint or not (args.race or args.dm)
+    do_race = args.race or not (args.lint or args.dm)
+    do_dm = args.dm or not (args.lint or args.race)
     failed = False
 
     if do_lint:
@@ -201,11 +207,12 @@ def _cmd_analyze(args) -> int:
 
     if do_race:
         print(f"race detector: 7 algorithms x push/pull, "
-              f"P={args.threads}, ER n={args.scale}")
+              f"P={args.threads}, {args.dataset} n={args.scale}")
         try:
             runs = analyze_algorithms(
                 n=args.scale, P=args.threads, seed=args.seed,
-                slack=args.slack, algorithms=args.algorithms, progress=print)
+                slack=args.slack, algorithms=args.algorithms,
+                dataset=args.dataset, progress=print)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -215,6 +222,22 @@ def _cmd_analyze(args) -> int:
             for race in r.report.races[:8]:
                 print("  " + str(race))
         print(f"race: {len(bad)} failing cell(s) of {len(runs)}")
+        failed |= bool(bad)
+
+    if do_dm:
+        from repro.analysis.dm_runner import analyze_dm
+
+        n_dm = min(args.scale, 96) if not args.dm else args.scale
+        print(f"epoch checker: 4 DM kernels x backends, "
+              f"P={args.threads}, ER n={n_dm}")
+        runs = analyze_dm(n=n_dm, P=args.threads, seed=args.seed,
+                          slack=args.slack, progress=print)
+        bad = [r for r in runs if not r.ok]
+        for r in bad:
+            print(r.check)
+            for race in r.report.races[:8]:
+                print("  " + str(race))
+        print(f"dm: {len(bad)} failing cell(s) of {len(runs)}")
         failed |= bool(bad)
 
     return 1 if failed else 0

@@ -146,12 +146,12 @@ def _level_push(g, rt, mem, off_h, adj_h, par_h, owner, parent, level,
                 claimed.append(_claim(payload, parent, level, depth, mem,
                                       par_h))
             else:
-                rt.send(q, payload, nbytes=16 * int(sel.sum()))
+                rt.send(q, payload, nbytes=16 * int(sel.sum()), tag="disc")
 
     rt.superstep(expand)
 
     def absorb(p: int) -> None:
-        for _, payload in rt.inbox():
+        for _, payload in rt.inbox("disc"):
             claimed.append(_claim(payload, parent, level, depth, mem, par_h))
 
     rt.superstep(absorb)
@@ -183,14 +183,17 @@ def _level_pull(g, rt, mem, off_h, adj_h, par_h, owner, parent, level,
         # allgather modeled as P-1 bitmap messages per rank
         for q in range(rt.P):
             if q != p:
-                rt.send(q, None, nbytes=bitmap_bytes // rt.P + 1)
+                rt.send(q, None, nbytes=bitmap_bytes // rt.P + 1,
+                        tag="bitmap")
 
     rt.superstep(exchange)
 
     def scan(p: int) -> None:
-        rt.inbox()   # consume the bitmap fragments
+        rt.inbox("bitmap")   # consume the bitmap fragments
         vs = rt.owned(p)
-        mem.read(par_h, count=len(vs), mode="seq")
+        if len(vs) == 0:
+            return
+        mem.read(par_h, start=int(vs[0]), count=len(vs), mode="seq")
         unvisited = vs[parent[vs] < 0]
         mine: list[int] = []
         for v in unvisited:

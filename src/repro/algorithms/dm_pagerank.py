@@ -146,8 +146,13 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                 local = tgt_owner == p
                 lidx = nbrs[local].astype(np.int64)
                 if len(lidx):
-                    mem.read(acc_h, idx=lidx, mode="rand")
-                    mem.write(acc_h, idx=lidx, mode="rand")
+                    # local updates take the same accumulate primitive
+                    # as remote ones (a CAS loop per entry): remote
+                    # processes accumulate into this block in the same
+                    # epoch, so plain read-modify-writes here would
+                    # race them (the epoch checker's write-vs-acc rule)
+                    rt.rma_accumulate(p, len(lidx), dtype="float",
+                                      window=acc_h, idx=lidx)
                     np.add.at(acc, lidx, vals[local])
                 # float accumulate per remote edge entry (the slow path)
                 for q in range(P):
@@ -157,7 +162,8 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                     k = int(sel.sum())
                     if k == 0:
                         continue
-                    rt.rma_accumulate(q, k, dtype="float")
+                    rt.rma_accumulate(q, k, dtype="float", window=acc_h,
+                                      idx=nbrs[sel].astype(np.int64))
                     np.add.at(acc, nbrs[sel].astype(np.int64), vals[sel])
                 rt.rma_flush()
 
@@ -179,9 +185,11 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                 for q in range(P):
                     if q == p:
                         continue
-                    k = int((tgt_owner == q).sum())
+                    sel = tgt_owner == q
+                    k = int(sel.sum())
                     if k:
-                        rt.rma_get(q, 2 * k, ops=2 * k)
+                        rt.rma_get(q, 2 * k, ops=2 * k, window=rank_h,
+                                   idx=nbrs[sel].astype(np.int64))
                 k_local = int((~remote).sum())
                 if k_local:
                     mem.read(rank_h, count=k_local, mode="rand")

@@ -147,7 +147,8 @@ def dm_sssp_delta(g: CSRGraph, rt: DMRuntime, source: int,
                         if q == p:
                             local_pairs.setdefault(p, []).append((tgt, val))
                         else:
-                            rt.send(q, (tgt, val), nbytes=16 * len(tgt))
+                            rt.send(q, (tgt, val), nbytes=16 * len(tgt),
+                                    tag="relax")
 
                 rt.superstep(relax_out)
 
@@ -156,7 +157,7 @@ def dm_sssp_delta(g: CSRGraph, rt: DMRuntime, source: int,
 
                 def apply_in(p: int) -> None:
                     pairs = list(local_pairs.get(p, []))
-                    pairs.extend(payload for _, payload in rt.inbox())
+                    pairs.extend(payload for _, payload in rt.inbox("relax"))
                     back = _apply_relaxations(pairs, b)
                     refill[back] = True
 
@@ -183,20 +184,24 @@ def dm_sssp_delta(g: CSRGraph, rt: DMRuntime, source: int,
                             continue
                         ask = nbrs[owner[nbrs] == q]
                         if len(ask):
-                            rt.send(q, ("req", p, ask),
-                                    nbytes=8 * len(ask))
+                            # MPI-style tag: the reply superstep reads
+                            # requests while replies are already in
+                            # flight; the tag tells them apart (and the
+                            # epoch checker relies on the distinction)
+                            rt.send(q, (p, ask), nbytes=8 * len(ask),
+                                    tag="req")
 
                 rt.superstep(request_out)
 
                 # superstep 2: owners reply with (dist, bucket) of the
                 # requested vertices
                 def reply(p: int) -> None:
-                    for _, payload in rt.inbox():
-                        kind, requester, ids = payload
+                    for _, payload in rt.inbox("req"):
+                        requester, ids = payload
                         mem.read(dist_h, idx=ids, mode="rand")
-                        rt.send(requester, ("rep", ids, dist[ids].copy(),
+                        rt.send(requester, (ids, dist[ids].copy(),
                                             bidx[ids].copy()),
-                                nbytes=24 * len(ids))
+                                nbytes=24 * len(ids), tag="rep")
 
                 rt.superstep(reply)
 
@@ -206,8 +211,8 @@ def dm_sssp_delta(g: CSRGraph, rt: DMRuntime, source: int,
                 def relax_local(p: int) -> None:
                     remote_dist = {}
                     remote_b = {}
-                    for _, payload in rt.inbox():
-                        _, ids, ds, bs = payload
+                    for _, payload in rt.inbox("rep"):
+                        ids, ds, bs = payload
                         for i, dd, bb in zip(ids, ds, bs):
                             remote_dist[int(i)] = float(dd)
                             remote_b[int(i)] = int(bb)

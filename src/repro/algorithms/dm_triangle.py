@@ -104,7 +104,7 @@ def dm_triangle_count(g: CSRGraph, rt: DMRuntime, variant: str = RMA_PULL,
                         c.messages += 1
                         c.msg_bytes += 8 * du
                     else:
-                        rt.rma_get(uowner, du)
+                        rt.rma_get(uowner, du, window=adj_h)
                     peak_buffer = max(peak_buffer, du)
                 nu = adj[uo0:uo1]
                 pos = np.searchsorted(nv, nu)
@@ -125,11 +125,16 @@ def dm_triangle_count(g: CSRGraph, rt: DMRuntime, variant: str = RMA_PULL,
                     mem.write(tc_h, idx=int(v), mode="rand")
                 elif variant == RMA_PUSH:
                     if uowner == p:
-                        mem.read(tc_h, idx=u, count=common, mode="rand")
-                        mem.write(tc_h, idx=u, count=common, mode="rand")
+                        # local counters share the window with remote
+                        # FAAs landing this epoch, so the local update
+                        # must be a fetch-and-add too, not a plain
+                        # read-modify-write (write-vs-acc epoch race)
+                        rt.rma_accumulate(p, common, dtype="int",
+                                          window=tc_h, idx=u)
                     else:
                         # integer FAA fast path, one per witness
-                        rt.rma_accumulate(uowner, common, dtype="int")
+                        rt.rma_accumulate(uowner, common, dtype="int",
+                                          window=tc_h, idx=u)
                 else:  # MP: buffer increments until the threshold
                     if uowner == p:
                         mem.read(tc_h, idx=u, count=common, mode="rand")

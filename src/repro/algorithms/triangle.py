@@ -73,6 +73,9 @@ def triangle_count(g: CSRGraph, rt: SMRuntime, direction: str = PULL
 
     start_time = rt.time
     start_counters = rt.total_counters()
+    # PUSH_PA: cross-partition witnesses buffered per thread, replayed
+    # in a second phase (same two-phase shape as PageRank-PA)
+    remote_buf: list[list] = [[] for _ in range(rt.P)]
 
     def body(t: int, vs: np.ndarray) -> None:
         for v in vs:
@@ -114,12 +117,12 @@ def triangle_count(g: CSRGraph, rt: SMRuntime, direction: str = PULL
                     tc[u] += common
                     mem.faa(tc_h, idx=u, count=common, mode="rand")
                 elif direction == PUSH_PA:
-                    tc[u] += common
                     if rt.part.is_local(t, u):
+                        tc[u] += common
                         mem.read(tc_h, idx=u, count=common, mode="rand")
                         mem.write(tc_h, idx=u, count=common, mode="rand")
                     else:
-                        mem.faa(tc_h, idx=u, count=common, mode="rand")
+                        remote_buf[t].append((u, common))
                 else:
                     local_sum += common
                     mem.read(tc_h, idx=v, mode="rand")
@@ -129,6 +132,17 @@ def triangle_count(g: CSRGraph, rt: SMRuntime, direction: str = PULL
                 tc[v] += local_sum
 
     rt.for_each_thread(body)
+
+    if direction == PUSH_PA:
+        # the cross-partition FAAs run in their own barrier-separated
+        # phase: they must not share an epoch with the plain local
+        # read-modify-writes above (plain-vs-atomic race otherwise)
+        def pa_remote(t: int, vs: np.ndarray) -> None:
+            for u, c in remote_buf[t]:
+                tc[u] += c
+                mem.faa(tc_h, idx=u, count=c, mode="rand")
+
+        rt.for_each_thread(pa_remote)
 
     # halve the double-counted corners (sequential epilogue, one pass)
     def halve(t: int, vs: np.ndarray) -> None:

@@ -9,13 +9,25 @@ Two layers:
   flagging stores that bypass the instrumented memory, push stores
   without atomics, push-side ownership checks, and missing barriers.
 
+* :mod:`repro.analysis.dm_race` -- the distributed-memory counterpart:
+  an epoch checker for the MPI-3-style one-sided/message discipline of
+  :class:`repro.runtime.dm.DMRuntime`.
+
 :mod:`repro.analysis.runner` drives the seven paper algorithms under
-the detector and :mod:`repro.analysis.crosscheck` compares the observed
-conflict counts against the Section-4 PRAM bounds.  The CLI surface is
-``python -m repro analyze``.
+the detector, :mod:`repro.analysis.dm_runner` drives the four DM
+kernels under the epoch checker, and :mod:`repro.analysis.crosscheck`
+compares the observed conflict/communication counts against the
+Section-4 PRAM bounds.  The CLI surface is ``python -m repro analyze``.
 """
 
-from repro.analysis.crosscheck import CrossCheckResult, crosscheck, predicted_cost
+from repro.analysis.crosscheck import (
+    CrossCheckResult, DMCommCheckResult, crosscheck, dm_crosscheck,
+    predicted_cost,
+)
+from repro.analysis.dm_race import DMRaceDetector, attach_dm_race_detector
+from repro.analysis.dm_runner import (
+    DMAnalysisRun, analyze_dm, cross_edges, run_one_dm,
+)
 from repro.analysis.lint import LintFinding, lint_file, lint_paths, lint_source
 from repro.analysis.race import (
     Race, RaceDetectingMemory, RaceError, RaceReport, attach_race_detector,
@@ -23,8 +35,10 @@ from repro.analysis.race import (
 from repro.analysis.runner import ALGORITHMS, AnalysisRun, analyze_algorithms, run_one
 
 __all__ = [
-    "ALGORITHMS", "AnalysisRun", "CrossCheckResult", "LintFinding", "Race",
+    "ALGORITHMS", "AnalysisRun", "CrossCheckResult", "DMAnalysisRun",
+    "DMCommCheckResult", "DMRaceDetector", "LintFinding", "Race",
     "RaceDetectingMemory", "RaceError", "RaceReport", "analyze_algorithms",
-    "attach_race_detector", "crosscheck", "lint_file", "lint_paths",
-    "lint_source", "predicted_cost", "run_one",
+    "analyze_dm", "attach_dm_race_detector", "attach_race_detector",
+    "cross_edges", "crosscheck", "dm_crosscheck", "lint_file", "lint_paths",
+    "lint_source", "predicted_cost", "run_one", "run_one_dm",
 ]

@@ -23,9 +23,11 @@ and similar O(P)-per-epoch shared-structure touches.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.analysis.race import RaceReport
+from repro.machine.counters import PerfCounters
 from repro.pram.costs import (
     AlgorithmCost, bc_cost, bfs_cost, boman_coloring_cost, boruvka_cost,
     pagerank_cost, sssp_delta_cost, triangle_count_cost,
@@ -128,4 +130,80 @@ def crosscheck(algorithm: str, direction: str, report: RaceReport, *,
         algorithm=algorithm, direction=direction, ok=not problems,
         observed_write=observed_w, observed_read=observed_r,
         predicted_write=cost.write_conflicts, predicted_read=cost.read_conflicts,
+        detail="; ".join(problems))
+
+
+@dataclass(frozen=True)
+class DMCommCheckResult:
+    """Verdict of one DM run's communication volume against its bound.
+
+    The Section 6.3 kernels communicate only across partition cuts:
+    every remote get/put/accumulate and every point-to-point message is
+    chargeable to a directed cross-partition edge, examined at most
+    once per *round* (an iteration, a BFS level, a Δ-stepping inner
+    iteration), plus O(P²) per-superstep bookkeeping traffic (request
+    skeletons, frontier bitmap fragments).  The check is directional
+    with a ``slack`` factor, like :func:`crosscheck`.
+    """
+
+    algorithm: str
+    variant: str
+    ok: bool
+    observed_remote: int      #: gets + puts + float/int accumulates
+    observed_messages: int
+    bound_remote: float
+    bound_messages: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "FAIL"
+        return (f"[{mark}] {self.algorithm}/{self.variant}: "
+                f"rma {self.observed_remote} <= ~{self.bound_remote:.0f}, "
+                f"msg {self.observed_messages} <= ~{self.bound_messages:.0f}"
+                + (f" -- {self.detail}" if self.detail else ""))
+
+
+def dm_crosscheck(algorithm: str, variant: str, counters: PerfCounters, *,
+                  m_cross: int, P: int, supersteps: int, rounds: int = 1,
+                  slack: float = 4.0) -> DMCommCheckResult:
+    """Compare one DM run's counters to the cut-based communication bound.
+
+    ``m_cross`` is the number of directed edges whose endpoints live on
+    different processes; ``rounds`` is how many times each such edge may
+    legitimately be re-examined (PR: iterations; BFS: levels; SSSP-Δ:
+    total inner iterations; TC: ``1 + d_hat``, because each witness of a
+    cross edge costs one accumulate).  Remote one-sided traffic per
+    round is at most two operations per cut edge (the pull variants get
+    both rank and degree); messaging is at most one batched message per
+    cut edge per round plus the per-rank-pair skeletons.
+    """
+    observed_remote = int(counters.remote_gets + counters.remote_puts
+                          + counters.remote_acc_float
+                          + counters.remote_acc_int)
+    observed_messages = int(counters.messages)
+    base = max(1, int(m_cross)) * max(1, int(rounds))
+    skeleton = P * P * max(1, int(supersteps))
+    bound_remote = slack * 2 * base + skeleton
+    bound_messages = slack * base + skeleton
+    steps = max(1, math.ceil(math.log2(max(P, 2))))
+    bound_collectives = slack * P * steps * max(1, int(supersteps))
+
+    problems = []
+    if observed_remote > bound_remote:
+        problems.append(
+            f"remote ops {observed_remote} exceed {slack}x 2x{base} cut "
+            f"traffic + {skeleton}")
+    if observed_messages > bound_messages:
+        problems.append(
+            f"messages {observed_messages} exceed {slack}x {base} cut "
+            f"traffic + {skeleton}")
+    if counters.collectives > bound_collectives:
+        problems.append(
+            f"collective steps {counters.collectives} exceed "
+            f"{bound_collectives:.0f}")
+
+    return DMCommCheckResult(
+        algorithm=algorithm, variant=variant, ok=not problems,
+        observed_remote=observed_remote, observed_messages=observed_messages,
+        bound_remote=bound_remote, bound_messages=bound_messages,
         detail="; ".join(problems))

@@ -75,9 +75,15 @@ class Race:
 
     def __str__(self) -> str:
         kinds = {"ww": "write-write", "rw": "read-write",
-                 "mixed": "plain-vs-atomic"}
-        return (f"[epoch {self.epoch}] {kinds[self.kind]} race on "
-                f"{self.handle!r}: threads {self.threads[0]} and "
+                 "mixed": "plain-vs-atomic",
+                 "dangling-cover": "dangling covers= declaration",
+                 # DM epoch-rule kinds (repro.analysis.dm_race)
+                 "unflushed-read": "read-before-flush",
+                 "write-vs-acc": "plain-write-vs-remote-accumulate",
+                 "early-inbox": "inbox-before-delivery",
+                 "acc-dtype": "mixed float/int accumulate"}
+        return (f"[epoch {self.epoch}] {kinds.get(self.kind, self.kind)} "
+                f"race on {self.handle!r}: threads {self.threads[0]} and "
                 f"{self.threads[1]}, {self.count} address(es), "
                 f"e.g. {list(self.sample)}")
 
@@ -179,15 +185,26 @@ class RaceDetectingMemory:
         Also tally read-read overlap statistics per epoch.  Costs one
         extra set union per handle per barrier; needed by the PRAM
         cross-check, off by default for fixtures.
+    strict_covers:
+        ``covers=`` declarations are normally honor-system: the
+        detector trusts that the declared critical section really
+        encloses the covered companion write.  In strict mode a
+        declaration whose covered indices are *not* written (or
+        atomically updated) by the declaring thread before its next
+        barrier is itself reported as a ``dangling-cover`` race -- a
+        shield with nothing behind it is either dead code or a
+        mislabeled index set hiding a real race elsewhere.
     """
 
     def __init__(self, inner: MemoryModel, part: Partition1D | None = None,
                  raise_on_race: bool = False,
-                 track_read_conflicts: bool = False) -> None:
+                 track_read_conflicts: bool = False,
+                 strict_covers: bool = False) -> None:
         self.inner = inner
         self.part = part
         self.raise_on_race = raise_on_race
         self.track_read_conflicts = track_read_conflicts
+        self.strict_covers = strict_covers
         self.races: list[Race] = []
         self.per_epoch: list[EpochStats] = []
         self.epoch = 0
@@ -199,6 +216,10 @@ class RaceDetectingMemory:
         self._log: dict[tuple, _ThreadEpochLog] = {}
         # thread -> handle name -> list of covered (protected) index arrays
         self._shield: dict[int, dict[str, list]] = {}
+        # the subset declared through covers= (strict mode audits these;
+        # a lock's self-cover of its own word is exempt -- the lock word
+        # needs no companion write)
+        self._explicit: dict[int, dict[str, list]] = {}
         self._totals = RaceReport()
 
     # -- delegated surface ---------------------------------------------------------
@@ -278,10 +299,13 @@ class RaceDetectingMemory:
         if not pairs:
             return
         shield = self._shield.setdefault(self._thread, {})
+        explicit = self._explicit.setdefault(self._thread, {})
         for handle, idx in pairs:
             if idx is None:
                 continue
-            shield.setdefault(handle.name, []).append(_as_index_array(idx))
+            arr = _as_index_array(idx)
+            shield.setdefault(handle.name, []).append(arr)
+            explicit.setdefault(handle.name, []).append(arr)
             self._handles.setdefault(handle.name, handle)
 
     def _self_cover(self, handle: ArrayHandle, idx) -> None:
@@ -328,6 +352,7 @@ class RaceDetectingMemory:
         new_races = self._analyze()
         self._log.clear()
         self._shield.clear()
+        self._explicit.clear()
         self.epoch += 1
         if new_races and self.raise_on_race:
             raise RaceError(self.report().summary())
@@ -412,10 +437,26 @@ class RaceDetectingMemory:
                     stats.read_conflicts += self._overlap_count(
                         [reads[t] for t in threads])
 
+        if self.strict_covers:
+            found |= self._audit_covers()
+
         self.per_epoch.append(stats)
         self._totals.write_conflicts += stats.write_conflicts
         self._totals.read_conflicts += stats.read_conflicts
         self._totals.atomic_conflicts += stats.atomic_conflicts
+        return found
+
+    def _audit_covers(self) -> bool:
+        """Strict mode: every covers= index needs a companion update."""
+        found = False
+        for t, per_handle in self._explicit.items():
+            for name, lists in per_handle.items():
+                covered = np.unique(np.concatenate(lists))
+                log = self._log.get((name, t))
+                touched = (np.union1d(log.writes(), log.atomics())
+                           if log is not None else np.empty(0, dtype=np.int64))
+                dangling = np.setdiff1d(covered, touched)
+                found |= self._emit("dangling-cover", name, t, t, dangling)
         return found
 
     @staticmethod
@@ -441,7 +482,8 @@ class RaceDetectingMemory:
 
 
 def attach_race_detector(rt, raise_on_race: bool = False,
-                         track_read_conflicts: bool = False
+                         track_read_conflicts: bool = False,
+                         strict_covers: bool = False
                          ) -> RaceDetectingMemory:
     """Wrap ``rt.mem`` in a :class:`RaceDetectingMemory` in place.
 
@@ -451,6 +493,7 @@ def attach_race_detector(rt, raise_on_race: bool = False,
     """
     detector = RaceDetectingMemory(
         rt.mem, part=rt.part, raise_on_race=raise_on_race,
-        track_read_conflicts=track_read_conflicts)
+        track_read_conflicts=track_read_conflicts,
+        strict_covers=strict_covers)
     rt.mem = detector
     return detector

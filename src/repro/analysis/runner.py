@@ -23,7 +23,7 @@ from repro.algorithms.sssp_delta import sssp_delta
 from repro.algorithms.triangle import triangle_count
 from repro.analysis.crosscheck import CrossCheckResult, crosscheck
 from repro.analysis.race import RaceReport, attach_race_detector
-from repro.generators import erdos_renyi
+from repro.generators import erdos_renyi, rmat
 from repro.graph.csr import CSRGraph
 from repro.machine.cost_model import XC30, MachineSpec
 from repro.machine.memory import CountingMemory
@@ -107,21 +107,38 @@ def _crosscheck_params(algorithm: str, result) -> dict:
     return params
 
 
+def _instance(dataset: str, n: int, d_bar: float, seed: int,
+              weighted: bool) -> CSRGraph:
+    if dataset == "er":
+        return erdos_renyi(n, d_bar=d_bar, seed=seed, weighted=weighted)
+    if dataset == "rmat":
+        import math
+        scale = max(4, math.ceil(math.log2(max(n, 2))))
+        return rmat(scale, d_bar=d_bar, seed=seed, weighted=weighted)
+    raise ValueError(f"unknown dataset {dataset!r}; choose 'er' or 'rmat'")
+
+
 def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
                        d_bar: float = 4.0, slack: float = 4.0,
                        algorithms: Iterable[str] | None = None,
                        directions: Iterable[str] = ("push", "pull"),
                        machine: MachineSpec = XC30,
+                       dataset: str = "er",
                        progress: Callable[[str], None] | None = None
                        ) -> list[AnalysisRun]:
-    """Run the full matrix; returns one :class:`AnalysisRun` per cell."""
+    """Run the full matrix; returns one :class:`AnalysisRun` per cell.
+
+    ``dataset`` selects the instance family: ``"er"`` (Erdős–Rényi, the
+    default) or ``"rmat"`` (the registry Kronecker/R-MAT generator at
+    ``scale = ceil(log2 n)`` -- skewed degrees at a small scale).
+    """
     algos = tuple(algorithms) if algorithms else ALGORITHMS
     unknown = set(algos) - set(ALGORITHMS)
     if unknown:
         raise ValueError(f"unknown algorithm(s) {sorted(unknown)}; "
                          f"choose from {ALGORITHMS}")
-    plain = erdos_renyi(n, d_bar=d_bar, seed=seed)
-    weighted = erdos_renyi(n, d_bar=d_bar, seed=seed, weighted=True)
+    plain = _instance(dataset, n, d_bar, seed, weighted=False)
+    weighted = _instance(dataset, n, d_bar, seed, weighted=True)
 
     runs: list[AnalysisRun] = []
     for algorithm in algos:

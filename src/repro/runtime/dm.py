@@ -6,13 +6,25 @@ one of two backends:
 * **Message Passing (MP)** -- explicit point-to-point messages with
   implicit synchronization, plus the ``alltoallv`` collective the
   paper's MP PageRank uses.  Messages are buffered in mailboxes and
-  delivered at the next superstep boundary.
+  delivered at the next superstep boundary; an optional ``tag``
+  (mirroring MPI tags) lets a receiver consume one message class while
+  other in-flight classes remain pending -- the epoch checker uses the
+  tag match to tell a synchronized read from a read racing the current
+  superstep's sends.
 * **Remote Memory Access (RMA)** -- puts/gets/accumulates on remote
   windows with explicit flushes, mirroring MPI-3 one-sided / foMPI.
   ``accumulate`` distinguishes float and integer operands: the paper
   found that float ``MPI_Accumulate`` uses a costly locking protocol
   while 64-bit-integer fetch-and-op has a hardware fast path, and that
   difference is what flips the PR-vs-TC backend ranking (Section 6.5).
+  RMA calls optionally name the ``window`` (a registered array handle)
+  and the targeted item indices; the base runtime ignores both, the
+  epoch checker of :mod:`repro.analysis.dm_race` needs them for its
+  region analysis.
+
+An ``observer`` (set by ``attach_dm_race_detector``) receives every
+communication event; with no observer attached the hooks are single
+``is None`` checks, and all cost accounting is identical either way.
 
 Simulated time per superstep is the max over processes of the event
 cost accumulated in that superstep (BSP accounting); the α-β weights
@@ -42,10 +54,14 @@ class DMRuntime:
         self.mem = memory or CountingMemory(machine.hierarchy)
         self.proc_counters = [PerfCounters() for _ in range(P)]
         self.time = 0.0
+        self.superstep_index = 0
+        #: epoch-checker hook (see repro.analysis.dm_race); None = no-op
+        self.observer = None
         self._rank: int | None = None
-        # mailboxes[dest] = list of (source, payload) delivered next superstep
-        self._in_flight: list[list[tuple[int, Any]]] = [[] for _ in range(P)]
-        self._mailboxes: list[list[tuple[int, Any]]] = [[] for _ in range(P)]
+        # mailboxes[dest] = list of (source, payload, tag) delivered next
+        # superstep
+        self._in_flight: list[list[tuple[int, Any, Any]]] = [[] for _ in range(P)]
+        self._mailboxes: list[list[tuple[int, Any, Any]]] = [[] for _ in range(P)]
         self.mem.set_counters(self.proc_counters[0])
 
     # -- process bookkeeping ------------------------------------------------------
@@ -58,9 +74,28 @@ class DMRuntime:
     def total_counters(self) -> PerfCounters:
         return PerfCounters.total(self.proc_counters)
 
+    def reset(self) -> None:
+        """Clear counters, time, and mailboxes between runs.
+
+        Rebinds memory accounting to process 0 -- without this, events
+        issued between runs land on whichever process happened to
+        execute last (the counter-rebinding bug class
+        ``SMRuntime.reset`` fixed on the shared-memory side).
+        """
+        for c in self.proc_counters:
+            c.reset()
+        self.time = 0.0
+        self.superstep_index = 0
+        self._rank = None
+        self._in_flight = [[] for _ in range(self.P)]
+        self._mailboxes = [[] for _ in range(self.P)]
+        self.mem.set_counters(self.proc_counters[0])
+
     def _activate(self, p: int) -> None:
         self._rank = p
         self.mem.set_counters(self.proc_counters[p])
+        if self.observer is not None:
+            self.observer.on_activate(p)
 
     @property
     def rank(self) -> int:
@@ -76,6 +111,8 @@ class DMRuntime:
         barrier (the implicit synchronization of the MP model / the
         window synchronization of RMA).
         """
+        if self.observer is not None:
+            self.observer.on_superstep_begin(self.superstep_index)
         span = 0.0
         for p in range(self.P):
             self._activate(p)
@@ -89,22 +126,39 @@ class DMRuntime:
         # deliver in-flight messages
         self._mailboxes = self._in_flight
         self._in_flight = [[] for _ in range(self.P)]
+        self.superstep_index += 1
+        if self.observer is not None:
+            self.observer.on_superstep_end()
 
     # -- Message Passing -----------------------------------------------------------
-    def send(self, dest: int, payload: Any, nbytes: int | None = None) -> None:
+    def send(self, dest: int, payload: Any, nbytes: int | None = None,
+             tag: Any = None) -> None:
         """Post a point-to-point message (delivered next superstep)."""
         c = self.proc_counters[self.rank]
         c.messages += 1
         c.msg_bytes += self._payload_bytes(payload) if nbytes is None else int(nbytes)
-        self._in_flight[dest].append((self.rank, payload))
+        if self.observer is not None:
+            self.observer.on_send(self.rank, dest, tag)
+        self._in_flight[dest].append((self.rank, payload, tag))
 
-    def inbox(self) -> list[tuple[int, Any]]:
-        """Messages delivered to this process at the last boundary."""
-        msgs = self._mailboxes[self.rank]
-        self._mailboxes[self.rank] = []
+    def inbox(self, tag: Any = None) -> list[tuple[int, Any]]:
+        """Messages delivered to this process at the last boundary.
+
+        With ``tag`` given, only matching messages are consumed;
+        non-matching ones stay in the mailbox (MPI tag matching).
+        """
+        if self.observer is not None:
+            self.observer.on_inbox(self.rank, tag)
+        box = self._mailboxes[self.rank]
+        if tag is None:
+            msgs, keep = box, []
+        else:
+            msgs = [m for m in box if m[2] == tag]
+            keep = [m for m in box if m[2] != tag]
+        self._mailboxes[self.rank] = keep
         # receive cost: latency per message is paid by the receiver too
         self.proc_counters[self.rank].messages += 0  # latency counted at sender
-        return msgs
+        return [(src, payload) for src, payload, _ in msgs]
 
     def alltoallv(self, contributions: list[list[Any]]) -> list[list[Any]]:
         """The MPI_Alltoallv collective.
@@ -136,29 +190,53 @@ class DMRuntime:
 
     # -- Remote Memory Access ----------------------------------------------------------
     def rma_get(self, owner: int, nitems: int, itemsize: int = 8,
-                ops: int = 1) -> None:
+                ops: int = 1, window=None, idx=None) -> None:
         """Fetch ``nitems`` items from a remote window in ``ops`` gets."""
+        if self.observer is not None:
+            self.observer.on_rma("get", self.rank, owner, window, idx, None)
         self._remote_op(owner, "remote_gets", nitems * itemsize, op_count=ops)
 
     def rma_put(self, owner: int, nitems: int, itemsize: int = 8,
-                ops: int = 1) -> None:
-        self._remote_op(owner, "remote_puts", nitems * itemsize, op_count=ops)
+                ops: int = 1, window=None, idx=None) -> None:
+        if self.observer is not None:
+            self.observer.on_rma("put", self.rank, owner, window, idx, None)
+        self._remote_op(owner, "remote_puts", nitems * itemsize, op_count=ops,
+                        local_kind="write")
 
     def rma_accumulate(self, owner: int, nitems: int, dtype: str = "float",
-                       itemsize: int = 8) -> None:
-        """Remote accumulate; ``dtype`` chooses the protocol (Section 6.3)."""
+                       itemsize: int = 8, window=None, idx=None) -> None:
+        """Remote accumulate; ``dtype`` chooses the protocol (Section 6.3).
+
+        With ``owner == rank`` this is a *local* atomic update on the
+        process's own window: an integer accumulate is a processor
+        fetch-and-add, a float accumulate a CAS loop (no float atomics
+        on CPUs) -- the same convention the SM kernels use.
+        """
+        if self.observer is not None:
+            self.observer.on_rma("acc", self.rank, owner, window, idx, dtype)
         attr = "remote_acc_float" if dtype == "float" else "remote_acc_int"
-        self._remote_op(owner, attr, nitems * itemsize, op_count=nitems)
+        self._remote_op(owner, attr, nitems * itemsize, op_count=nitems,
+                        local_kind="faa" if dtype != "float" else "cas")
 
     def rma_flush(self, owner: int | None = None) -> None:
         self.proc_counters[self.rank].flushes += 1
+        if self.observer is not None:
+            self.observer.on_flush(self.rank, owner)
 
     def _remote_op(self, owner: int, attr: str, nbytes: int,
-                   op_count: int = 1) -> None:
+                   op_count: int = 1, local_kind: str = "read") -> None:
         c = self.proc_counters[self.rank]
         if owner == self.rank:
-            # local window access: plain memory traffic, no network
-            c.reads += max(1, nbytes // 8)
+            # local window access: plain memory traffic / processor
+            # atomics, no network
+            n = max(1, nbytes // 8)
+            if local_kind == "write":
+                c.writes += n
+            elif local_kind in ("faa", "cas"):
+                c.atomics += n
+                setattr(c, local_kind, getattr(c, local_kind) + n)
+            else:
+                c.reads += n
             return
         setattr(c, attr, getattr(c, attr) + op_count)
         c.remote_bytes += nbytes

@@ -182,6 +182,110 @@ class TestDetectorMechanics:
         assert np.allclose(r_det.ranks, r_plain.ranks)
 
 
+class TestStrictCovers:
+    """strict_covers=True: a covers= declaration must be followed by the
+    covered companion write before the declaring thread's barrier."""
+
+    def test_dangling_declaration_is_rejected(self, er_graph):
+        rt = make_runtime(er_graph, P=2)
+        det = attach_race_detector(rt, strict_covers=True)
+        h1 = rt.mem.register("t.guard", np.zeros(er_graph.n))
+        h2 = rt.mem.register("t.payload", np.zeros(er_graph.n))
+
+        def body(t, vs):
+            # declares a companion store on h2[0] that never happens
+            rt.mem.cas(h1, idx=0, mode="rand", covers=[(h2, 0)])
+
+        rt.for_each_thread(body)
+        report = det.report()
+        assert not report.clean
+        assert {r.kind for r in report.races} == {"dangling-cover"}
+        assert all(r.handle == "t.payload" for r in report.races)
+
+    def test_honored_declaration_is_clean(self, er_graph):
+        rt = make_runtime(er_graph, P=2)
+        det = attach_race_detector(rt, strict_covers=True)
+        h1 = rt.mem.register("t.guard", np.zeros(er_graph.n))
+        h2 = rt.mem.register("t.payload", np.zeros(er_graph.n))
+
+        def body(t, vs):
+            rt.mem.cas(h1, idx=0, mode="rand", covers=[(h2, 0)])
+            rt.mem.write(h2, idx=0, mode="rand")
+
+        rt.for_each_thread(body)
+        assert det.report().clean
+
+    def test_default_mode_tolerates_dangling_declaration(self, er_graph):
+        rt = make_runtime(er_graph, P=2)
+        det = attach_race_detector(rt)
+        h1 = rt.mem.register("t.guard", np.zeros(er_graph.n))
+        h2 = rt.mem.register("t.payload", np.zeros(er_graph.n))
+
+        def body(t, vs):
+            rt.mem.cas(h1, idx=0, mode="rand", covers=[(h2, 0)])
+
+        rt.for_each_thread(body)
+        assert det.report().clean
+
+    def test_lock_self_cover_is_exempt(self, er_graph):
+        """A lock's implicit cover of its own lock word is not a
+        covers= declaration and needs no companion write."""
+        rt = make_runtime(er_graph, P=2)
+        det = attach_race_detector(rt, strict_covers=True)
+        h = rt.mem.register("t.locked", np.zeros(er_graph.n))
+
+        def body(t, vs):
+            rt.mem.lock(h, idx=0, mode="rand")
+            rt.mem.write(h, idx=0, mode="rand")
+
+        rt.for_each_thread(body)
+        assert det.report().clean
+
+
+class TestTrianglePushPA:
+    """Regression: the TC push-pa plain-vs-atomic race is fixed by the
+    two-phase split (ROADMAP item; previously flagged as `mixed`)."""
+
+    def test_push_pa_is_clean_under_the_detector(self, er_graph):
+        from repro.algorithms.triangle import triangle_count
+
+        rt = make_runtime(er_graph, P=4)
+        det = attach_race_detector(rt)
+        r = triangle_count(er_graph, rt, direction="push-pa")
+        assert det.report().clean
+        # the split keeps the PA contract: cross-partition FAAs remain
+        assert r.counters.faa > 0
+
+    def test_push_pa_still_matches_other_directions(self, er_graph):
+        from repro.algorithms.triangle import triangle_count
+
+        results = {}
+        for d in ("push", "pull", "push-pa"):
+            rt = make_runtime(er_graph, P=4)
+            results[d] = triangle_count(er_graph, rt, direction=d).per_vertex
+        assert np.array_equal(results["push-pa"], results["push"])
+        assert np.array_equal(results["push-pa"], results["pull"])
+
+
+class TestRmatDataset:
+    """The dynamic pass extends beyond ER to the registry rmat family."""
+
+    def test_rmat_matrix_clean_within_budget(self):
+        import time
+
+        t0 = time.monotonic()
+        runs = analyze_algorithms(n=64, P=4, seed=7, dataset="rmat")
+        elapsed = time.monotonic() - t0
+        assert all(r.report.clean for r in runs), [str(r) for r in runs]
+        assert all(r.check.ok for r in runs), [str(r.check) for r in runs]
+        # smoke budget: the small-scale rmat matrix must stay cheap
+        assert elapsed < 60.0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_algorithms(n=32, dataset="not-a-family")
+
+
 class TestAlgorithmMatrix:
     """The acceptance gate: all 7 algorithms, both directions, P>=4."""
 

@@ -96,6 +96,96 @@ class TestDMRuntime:
         assert DMRuntime._payload_bytes(7) == 8
 
 
+class TestDMPrimitives:
+    """Satellite coverage: the runtime primitives themselves."""
+
+    def test_mailbox_preserves_send_order(self):
+        rt = make_dm(10, P=2)
+
+        def sender(p):
+            if p == 0:
+                for i in range(3):
+                    rt.send(1, i)
+
+        rt.superstep(sender)
+        got = {}
+        rt.superstep(lambda p: got.update({p: rt.inbox()}))
+        assert got[1] == [(0, 0), (0, 1), (0, 2)]
+        assert got[0] == []
+
+    def test_inbox_tag_filtering_leaves_other_tags(self):
+        rt = make_dm(10, P=2)
+
+        def sender(p):
+            if p == 0:
+                rt.send(1, "a", tag="x")
+                rt.send(1, "b", tag="y")
+                rt.send(1, "c", tag="x")
+
+        rt.superstep(sender)
+        got = {}
+
+        def reader(p):
+            if p == 1:
+                got["x"] = rt.inbox("x")
+                got["rest"] = rt.inbox()
+
+        rt.superstep(reader)
+        assert got["x"] == [(0, "a"), (0, "c")]
+        assert got["rest"] == [(0, "b")]
+
+    def test_alltoallv_payload_byte_accounting(self):
+        rt = make_dm(10, P=2)
+        row0 = [np.zeros(2), np.zeros(3)]   # p0 sends 16 + 24 bytes
+        row1 = [None, np.zeros(1)]          # p1 sends 0 + 8 bytes
+        rt.alltoallv([row0, row1])
+        # each process pays its sent bytes plus its received bytes
+        assert rt.proc_counters[0].collective_bytes == (16 + 24) + (16 + 0)
+        assert rt.proc_counters[1].collective_bytes == (0 + 8) + (24 + 8)
+
+    def test_accumulate_float_slower_than_int(self):
+        """Section 6.5: float accumulate locks, int FAA is the HW path."""
+        times = {}
+        for dtype in ("int", "float"):
+            rt = make_dm(10, P=2)
+            rt.superstep(lambda p: (rt.rma_accumulate(1 - p, 8, dtype=dtype),
+                                    rt.rma_flush()))
+            times[dtype] = rt.time
+        assert times["float"] > times["int"]
+
+    def test_local_accumulate_books_processor_atomics(self):
+        rt = make_dm(10, P=2)
+        rt.superstep(lambda p: (rt.rma_accumulate(p, 4, dtype="int"),
+                                rt.rma_accumulate(p, 2, dtype="float")))
+        c = rt.proc_counters[0]
+        assert c.remote_acc_int == 0 and c.remote_acc_float == 0
+        assert c.faa == 4 and c.cas == 2 and c.atomics == 6
+
+    def test_reset_clears_time_counters_and_mailboxes(self):
+        rt = make_dm(10, P=2)
+        rt.superstep(lambda p: rt.send(1 - p, "x"))
+        assert rt.superstep_index == 1 and rt.time > 0
+        rt.reset()
+        assert rt.superstep_index == 0 and rt.time == 0
+        assert all(c.messages == 0 and c.msg_bytes == 0 and c.barriers == 0
+                   for c in rt.proc_counters)
+        got = {}
+        rt.superstep(lambda p: got.update({p: rt.inbox()}))
+        assert got == {0: [], 1: []}
+
+    def test_reset_rebinds_memory_accounting_to_process_zero(self):
+        """The counter-rebinding bug class SMRuntime.reset fixed: without
+        the rebind, post-reset events land on whichever process ran
+        last."""
+        rt = make_dm(10, P=2)
+        h = rt.mem.register("x", 10, 8)
+        rt.superstep(lambda p: None)     # leaves accounting bound to p1
+        rt.reset()
+        rt.mem.read(h, count=4)
+        assert rt.proc_counters[0].reads > 0
+        assert rt.proc_counters[1].reads == 0
+
+
 class TestDMPageRank:
     @pytest.mark.parametrize("variant", ["mp", "rma-push", "rma-pull"])
     def test_matches_reference(self, comm_graph, variant):

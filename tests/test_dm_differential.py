@@ -1,0 +1,128 @@
+"""Differential MP ↔ RMA ↔ SM suite for the four DM kernels.
+
+Every distributed-memory backend variant must compute exactly what the
+shared-memory kernel and the sequential reference compute, on three
+graph families (Erdős–Rényi, Kronecker/R-MAT, road lattice).  The
+backends differ only in communication structure; any divergence in the
+results is a correctness bug, not a modeling choice.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.dm_bfs import dm_bfs
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.algorithms.dm_sssp import dm_sssp_delta
+from repro.algorithms.dm_triangle import dm_triangle_count
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.reference import (
+    bfs_reference, pagerank_reference, sssp_reference,
+    triangle_per_vertex_reference,
+)
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.algorithms.triangle import triangle_count
+from repro.generators import erdos_renyi, rmat, road_network
+from repro.machine.cost_model import XC30, XC40
+from repro.machine.memory import CountingMemory
+from repro.runtime.dm import DMRuntime
+from repro.runtime.sm import SMRuntime
+
+FAMILIES = ("er", "kron", "road")
+ITERATIONS = 4
+
+
+@lru_cache(maxsize=None)
+def family_graph(name: str, weighted: bool = False):
+    if name == "er":
+        return erdos_renyi(120, d_bar=4.0, seed=3, weighted=weighted)
+    if name == "kron":
+        return rmat(7, d_bar=4.0, seed=5, weighted=weighted)
+    if name == "road":
+        return road_network(10, 10, seed=5, weighted=weighted)
+    raise ValueError(name)
+
+
+def dm_rt(n: int) -> DMRuntime:
+    return DMRuntime(n, 4, machine=XC40.scaled(64))
+
+
+def sm_rt(g) -> SMRuntime:
+    m = XC30.scaled(64)
+    return SMRuntime(g, P=4, machine=m, memory=CountingMemory(m.hierarchy))
+
+
+class TestBFSDifferential:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("variant", ["push", "pull", "switching"])
+    def test_dm_levels_match_reference(self, family, variant):
+        g = family_graph(family)
+        ref = bfs_reference(g, 0)
+        r = dm_bfs(g, dm_rt(g.n), root=0, variant=variant)
+        assert np.array_equal(r.level, ref)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_sm_levels_match_reference(self, family):
+        g = family_graph(family)
+        ref = bfs_reference(g, 0)
+        for direction in ("push", "pull"):
+            r = bfs(g, sm_rt(g), root=0, direction=direction)
+            assert np.array_equal(r.level, ref)
+
+
+class TestPageRankDifferential:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("variant", ["mp", "rma-push", "rma-pull"])
+    def test_dm_ranks_match_reference(self, family, variant):
+        g = family_graph(family)
+        ref = pagerank_reference(g, ITERATIONS)
+        r = dm_pagerank(g, dm_rt(g.n), variant=variant,
+                        iterations=ITERATIONS)
+        assert np.allclose(r.ranks, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_sm_ranks_match_reference(self, family):
+        g = family_graph(family)
+        ref = pagerank_reference(g, ITERATIONS)
+        for direction in ("push", "pull"):
+            r = pagerank(g, sm_rt(g), direction=direction,
+                         iterations=ITERATIONS)
+            assert np.allclose(r.ranks, ref, atol=1e-12)
+
+
+class TestSSSPDifferential:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("variant", ["push", "pull"])
+    def test_dm_distances_match_reference(self, family, variant):
+        g = family_graph(family, weighted=True)
+        ref = sssp_reference(g, 0)
+        r = dm_sssp_delta(g, dm_rt(g.n), source=0, variant=variant)
+        assert np.allclose(r.dist, ref, equal_nan=True)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_sm_distances_match_reference(self, family):
+        g = family_graph(family, weighted=True)
+        ref = sssp_reference(g, 0)
+        for direction in ("push", "pull"):
+            r = sssp_delta(g, sm_rt(g), source=0, direction=direction)
+            assert np.allclose(r.dist, ref, equal_nan=True)
+
+
+class TestTriangleDifferential:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("variant", ["mp", "rma-push", "rma-pull"])
+    def test_dm_counts_match_reference(self, family, variant):
+        g = family_graph(family)
+        ref = triangle_per_vertex_reference(g)
+        r = dm_triangle_count(g, dm_rt(g.n), variant=variant)
+        assert np.array_equal(r.per_vertex, ref)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_sm_counts_match_reference(self, family):
+        g = family_graph(family)
+        ref = triangle_per_vertex_reference(g)
+        for direction in ("push", "pull", "push-pa"):
+            r = triangle_count(g, sm_rt(g), direction=direction)
+            assert np.array_equal(r.per_vertex, ref)
