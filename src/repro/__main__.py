@@ -68,7 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="run only the dynamic race detector")
     an.add_argument("--dm", action="store_true",
                     help="run only the distributed-memory epoch checker")
-    an.add_argument("--dataset", default="er", choices=("er", "rmat"),
+    an.add_argument("--faults", action="store_true",
+                    help="run the chaos suite: DM kernels under seeded "
+                         "fault plans with recovery (off by default)")
+    an.add_argument("--fault-seeds", type=int, default=2,
+                    help="number of fault-plan seeds per chaos cell")
+    an.add_argument("--dataset", default="er",
+                    choices=("er", "rmat", "road"),
                     help="instance family for the dynamic pass")
     an.add_argument("--threads", "-P", type=int, default=4)
     an.add_argument("--scale", type=int, default=120,
@@ -187,10 +193,13 @@ def _cmd_analyze(args) -> int:
     from repro.analysis.lint import lint_paths
     from repro.analysis.runner import analyze_algorithms
 
-    # each flag selects its pass; with none given, run everything
-    do_lint = args.lint or not (args.race or args.dm)
-    do_race = args.race or not (args.lint or args.dm)
-    do_dm = args.dm or not (args.lint or args.race)
+    # each flag selects its pass; with none given, run everything except
+    # the chaos suite, which is opt-in (it is a grid of whole-kernel runs)
+    others = args.race or args.dm or args.faults
+    do_lint = args.lint or not others
+    do_race = args.race or not (args.lint or args.dm or args.faults)
+    do_dm = args.dm or not (args.lint or args.race or args.faults)
+    do_faults = args.faults
     failed = False
 
     if do_lint:
@@ -229,15 +238,37 @@ def _cmd_analyze(args) -> int:
 
         n_dm = min(args.scale, 96) if not args.dm else args.scale
         print(f"epoch checker: 4 DM kernels x backends, "
-              f"P={args.threads}, ER n={n_dm}")
+              f"P={args.threads}, {args.dataset} n={n_dm}")
         runs = analyze_dm(n=n_dm, P=args.threads, seed=args.seed,
-                          slack=args.slack, progress=print)
+                          slack=args.slack, dataset=args.dataset,
+                          progress=print)
         bad = [r for r in runs if not r.ok]
         for r in bad:
             print(r.check)
             for race in r.report.races[:8]:
                 print("  " + str(race))
         print(f"dm: {len(bad)} failing cell(s) of {len(runs)}")
+        failed |= bool(bad)
+
+    if do_faults:
+        from repro.analysis.fault_runner import (
+            analyze_faults, format_overhead_table,
+        )
+
+        n_f = min(args.scale, 96)
+        seeds = tuple(range(max(1, args.fault_seeds)))
+        print(f"chaos suite: 4 DM kernels x backends x fault plans, "
+              f"P={args.threads}, {args.dataset} n={n_f}, "
+              f"{len(seeds)} fault seed(s)")
+        runs = analyze_faults(n=n_f, P=args.threads, seed=args.seed,
+                              dataset=args.dataset, fault_seeds=seeds,
+                              progress=print)
+        bad = [r for r in runs if not r.ok]
+        for r in bad:
+            for race in r.races:
+                print("  " + race)
+        print(format_overhead_table(runs))
+        print(f"faults: {len(bad)} failing run(s) of {len(runs)}")
         failed |= bool(bad)
 
     return 1 if failed else 0

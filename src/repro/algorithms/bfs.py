@@ -122,9 +122,12 @@ class BFSState:
                     continue
                 # claim each unvisited neighbor with a CAS; in the
                 # deterministic superstep every attempt succeeds
-                # the winning CAS also owns the level store
+                # the winning CAS also owns the level store; the claims
+                # all target the parent array, so they form the
+                # segregated same-array stream the batched-atomic
+                # discount models (Section 5 / Table 4)
                 mem.cas(self.parent_h, idx=fresh, mode="rand",
-                        covers=[(self.level_h, fresh)])
+                        batched=True, covers=[(self.level_h, fresh)])
                 mem.write(self.level_h, idx=fresh, mode="rand")
                 parent[fresh] = v
                 level[fresh] = nxt_level

@@ -93,8 +93,9 @@ def connected_components(g: CSRGraph, rt: SMRuntime, direction: str = PUSH,
                 tgt = nbrs[improving].astype(np.int64)
                 if len(tgt) == 0:
                     return
-                # CAS-min per improving edge (remote combining write)
-                mem.cas(label_h, idx=tgt, mode="rand")
+                # CAS-min per improving edge (remote combining write);
+                # one array, contiguous issue -> batched-atomic stream
+                mem.cas(label_h, idx=tgt, mode="rand", batched=True)
                 before = labels[tgt].copy()
                 np.minimum.at(labels, tgt, vals[improving])
                 moved = np.unique(tgt[labels[tgt] < before])

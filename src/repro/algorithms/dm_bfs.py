@@ -70,6 +70,9 @@ def dm_bfs(g: CSRGraph, rt: DMRuntime, root: int, variant: str = PUSH,
 
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
+    # checkpointed state for crash rollback under fault injection
+    rt.register_window(par_h, parent)
+    rt.register_window("dmbfs.level", level)
     parent[root] = root
     level[root] = 0
     frontier = np.array([root], dtype=np.int64)
@@ -216,5 +219,6 @@ def _level_pull(g, rt, mem, off_h, adj_h, par_h, owner, parent, level,
 
     rt.superstep(scan)
     if found:
-        return np.concatenate(found)
+        # np.unique: a crash-rerun of scan appends its discoveries twice
+        return np.unique(np.concatenate(found))
     return np.empty(0, dtype=np.int64)

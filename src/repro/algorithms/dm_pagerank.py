@@ -65,6 +65,10 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
     rank = np.full(n, 1.0 / max(n, 1))
     acc = np.zeros(n)
     base = (1.0 - damping) / max(n, 1)
+    # window registry: data-carrying accumulates target acc; both arrays
+    # are checkpointed for crash rollback under fault injection
+    rt.register_window(acc_h, acc)
+    rt.register_window(rank_h, rank)
 
     owner = rt.part.owner(np.arange(n, dtype=np.int64))
     start_time = rt.time
@@ -151,10 +155,10 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                     # processes accumulate into this block in the same
                     # epoch, so plain read-modify-writes here would
                     # race them (the epoch checker's write-vs-acc rule)
-                    rt.rma_accumulate(p, len(lidx), dtype="float",
-                                      window=acc_h, idx=lidx)
-                    np.add.at(acc, lidx, vals[local])
-                # float accumulate per remote edge entry (the slow path)
+                    rt.accumulate(p, vals[local], window=acc_h, idx=lidx,
+                                  dtype="float")
+                # float accumulate per remote edge entry (the slow
+                # path); data is staged and lands at the flush below
                 for q in range(P):
                     if q == p:
                         continue
@@ -162,9 +166,9 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                     k = int(sel.sum())
                     if k == 0:
                         continue
-                    rt.rma_accumulate(q, k, dtype="float", window=acc_h,
-                                      idx=nbrs[sel].astype(np.int64))
-                    np.add.at(acc, nbrs[sel].astype(np.int64), vals[sel])
+                    rt.accumulate(q, vals[sel], window=acc_h,
+                                  idx=nbrs[sel].astype(np.int64),
+                                  dtype="float")
                 rt.rma_flush()
 
             rt.superstep(compute)

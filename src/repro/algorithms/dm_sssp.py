@@ -72,6 +72,9 @@ def dm_sssp_delta(g: CSRGraph, rt: DMRuntime, source: int,
 
     dist = np.full(n, np.inf)
     bidx = np.full(n, _NO_BUCKET, dtype=np.int64)
+    # checkpointed state for crash rollback under fault injection
+    rt.register_window(dist_h, dist)
+    rt.register_window("dmsssp.bidx", bidx)
     dist[source] = 0.0
     bidx[source] = 0
     owner = rt.part.owner(np.arange(n, dtype=np.int64))

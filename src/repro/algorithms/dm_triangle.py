@@ -12,8 +12,10 @@ a remote ``u``, the processing rank fetches ``N(u)``:
 * **MP**: neighbor lists travel by request/reply message pairs, and
   counter increments are buffered until ``buffer_items`` updates
   accumulate per destination (the paper: "updates are buffered until a
-  given size is reached").  Slowest, per the paper, because of the
-  messaging and buffering overheads.
+  given size is reached"), shipped as real ``(vertex, count)`` payloads
+  (tag ``tc-upd``) and applied by the owner in an absorb superstep.
+  Slowest, per the paper, because of the messaging and buffering
+  overheads.
 
 Counts are validated against the shared-memory implementation and
 networkx.
@@ -60,19 +62,26 @@ def dm_triangle_count(g: CSRGraph, rt: DMRuntime, variant: str = RMA_PULL,
     adj_h = mem.register("dmtc.adj", g.adj)
     tc_h = mem.register("dmtc.count", n, 8)
     tc = np.zeros(n, dtype=np.int64)
+    rt.register_window(tc_h, tc)
     owner = rt.part.owner(np.arange(n, dtype=np.int64))
     offsets, adj = g.offsets, g.adj
 
     start_time = rt.time
     start_counters = rt.total_counters()
     peak_buffer = 0
-    # MP: pending increment buffers, per (source, dest)
-    pending: list[list[int]] = [[0] * rt.P for _ in range(rt.P)]
+    # MP: pending increment buffers, per (source, dest):
+    # (vertices, counts, buffered witness total)
+    pending: list[list[list]] = [[[[], [], 0] for _ in range(rt.P)]
+                                 for _ in range(rt.P)]
 
-    def flush_buffer(p: int, q: int, items: int) -> None:
-        """Send one buffered-increments message of ``items`` updates."""
+    def flush_buffer(p: int, q: int) -> None:
+        """Ship one buffered-increments message of real updates."""
+        us, incs, items = pending[p][q]
         if items:
-            rt.send(q, None, nbytes=16 * items)
+            rt.send(q, (np.asarray(us, dtype=np.int64),
+                        np.asarray(incs, dtype=np.int64)),
+                    nbytes=16 * items, tag="tc-upd")
+        pending[p][q] = [[], [], 0]
 
     def body(p: int) -> None:
         nonlocal peak_buffer
@@ -98,8 +107,10 @@ def dm_triangle_count(g: CSRGraph, rt: DMRuntime, variant: str = RMA_PULL,
                 else:
                     # fetch N(u) from its owner
                     if variant == MP:
-                        # request + reply message pair
-                        rt.send(uowner, None, nbytes=16)
+                        # request + reply message pair (the fetch is
+                        # synchronous in the simulation: message faults
+                        # charge retries/waits but cannot lose the data)
+                        rt.send(uowner, None, nbytes=16, tag="tc-req")
                         c = rt.proc_counters[uowner]
                         c.messages += 1
                         c.msg_bytes += 8 * du
@@ -117,45 +128,51 @@ def dm_triangle_count(g: CSRGraph, rt: DMRuntime, variant: str = RMA_PULL,
                     common -= int(np.count_nonzero((matched == v) | (matched == u)))
                 if common == 0:
                     continue
-                tc[u] += common if variant != RMA_PULL else 0
                 if variant == RMA_PULL:
                     # pull accumulates locally into tc[v]
                     tc[v] += common
                     mem.read(tc_h, idx=int(v), mode="rand")
                     mem.write(tc_h, idx=int(v), mode="rand")
                 elif variant == RMA_PUSH:
-                    if uowner == p:
-                        # local counters share the window with remote
-                        # FAAs landing this epoch, so the local update
-                        # must be a fetch-and-add too, not a plain
-                        # read-modify-write (write-vs-acc epoch race)
-                        rt.rma_accumulate(p, common, dtype="int",
-                                          window=tc_h, idx=u)
-                    else:
-                        # integer FAA fast path, one per witness
-                        rt.rma_accumulate(uowner, common, dtype="int",
-                                          window=tc_h, idx=u)
+                    # integer FAA fast path, one per witness; local
+                    # counters share the window with remote FAAs landing
+                    # this epoch, so the local update is a fetch-and-add
+                    # too (write-vs-acc epoch rule).  Remote data is
+                    # staged and lands at the flush below.
+                    rt.accumulate(uowner, [common], window=tc_h, idx=[u],
+                                  dtype="int", ops=common)
                 else:  # MP: buffer increments until the threshold
                     if uowner == p:
+                        tc[u] += common
                         mem.read(tc_h, idx=u, count=common, mode="rand")
                         mem.write(tc_h, idx=u, count=common, mode="rand")
                     else:
-                        pending[p][uowner] += common
-                        if pending[p][uowner] >= buffer_items:
-                            flush_buffer(p, uowner, pending[p][uowner])
-                            peak_buffer = max(peak_buffer,
-                                              2 * pending[p][uowner])
-                            pending[p][uowner] = 0
+                        buf = pending[p][uowner]
+                        buf[0].append(u)
+                        buf[1].append(common)
+                        buf[2] += common
+                        if buf[2] >= buffer_items:
+                            peak_buffer = max(peak_buffer, 2 * buf[2])
+                            flush_buffer(p, uowner)
         # drain remaining MP buffers
         if variant == MP:
             for q in range(rt.P):
-                if pending[p][q]:
-                    flush_buffer(p, q, pending[p][q])
-                    pending[p][q] = 0
+                flush_buffer(p, q)
         if variant.startswith("rma"):
             rt.rma_flush()
 
     rt.superstep(body)
+
+    # MP: owners absorb the shipped increment payloads at the boundary
+    if variant == MP:
+        def absorb(p: int) -> None:
+            for _, payload in rt.inbox("tc-upd"):
+                us, incs = payload
+                mem.read(tc_h, idx=us, mode="rand")
+                mem.write(tc_h, idx=us, mode="rand")
+                np.add.at(tc, us, incs)
+
+        rt.superstep(absorb)
 
     # halving pass (local)
     def halve(p: int) -> None:

@@ -133,9 +133,10 @@ def boruvka_mst(g: CSRGraph, rt: SMRuntime, direction: str = PULL) -> MSTResult:
                     mem.branch_cond(len(fflag))
                     if len(idxs) == 0:
                         continue
-                    # the CAS-min claims the record slot too
+                    # the CAS-min claims the record slot too; all claims
+                    # hit the min-weight array -> batched-atomic stream
                     mem.cas(minw_h, idx=fflag[idxs], mode="rand",
-                            covers=[(rec_h, fflag[idxs])])
+                            batched=True, covers=[(rec_h, fflag[idxs])])
                     mem.write(rec_h, idx=fflag[idxs], count=3 * len(idxs),
                               mode="rand")
                     for i in idxs:

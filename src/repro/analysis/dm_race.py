@@ -161,7 +161,7 @@ class DMRaceDetector:
         if matching:
             self._emit("early-inbox", f"mailbox[{rank}]",
                        (int(matching[0][0]), rank),
-                       np.asarray(sorted({int(src) for src, _, _ in matching}),
+                       np.asarray(sorted({int(m[0]) for m in matching}),
                                   dtype=np.int64))
 
     def on_rma(self, kind: str, rank: int, owner: int, window, idx,
@@ -194,6 +194,24 @@ class DMRaceDetector:
         for op in self._pending:
             if op.rank == rank and (owner is None or op.owner == owner):
                 op.flushed = True
+
+    def on_rollback(self, rank: int) -> None:
+        """Forget the current epoch's records of a crashed process.
+
+        The fault layer rolled back every effect of ``rank``'s failed
+        superstep attempt -- window state, staged ops, outgoing
+        messages -- before rerunning it, so the epoch log must drop the
+        attempt too: otherwise the failed attempt's unflushed ops would
+        dangle as false ``unflushed-read`` pendings and its writes and
+        accumulates would double-count in the epoch-close rules.
+        Records from *earlier* epochs (genuinely unflushed ops) are
+        kept; a crash does not undo history.
+        """
+        self._pending = [op for op in self._pending
+                         if not (op.rank == rank and op.epoch == self.epoch)]
+        self._epoch_ops = [op for op in self._epoch_ops if op.rank != rank]
+        for per_rank in self._epoch_writes.values():
+            per_rank.pop(rank, None)
 
     # -- local access attribution ---------------------------------------------------
     def _window_name(self, window) -> str | None:

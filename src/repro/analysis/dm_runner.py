@@ -24,7 +24,6 @@ from repro.algorithms.dm_triangle import dm_triangle_count
 from repro.analysis.crosscheck import DMCommCheckResult, dm_crosscheck
 from repro.analysis.dm_race import attach_dm_race_detector
 from repro.analysis.race import RaceReport
-from repro.generators import erdos_renyi
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partition1D
 from repro.machine.cost_model import XC40, MachineSpec
@@ -121,12 +120,19 @@ def run_one_dm(algorithm: str, g: CSRGraph, variant: str, P: int = 4,
 
 
 def analyze_dm(n: int = 96, P: int = 4, seed: int = 7, d_bar: float = 4.0,
-               slack: float = 4.0,
+               slack: float = 4.0, dataset: str = "er",
                progress: Callable[[str], None] | None = None
                ) -> list[DMAnalysisRun]:
-    """Run the DM matrix; returns one :class:`DMAnalysisRun` per cell."""
-    plain = erdos_renyi(n, d_bar=d_bar, seed=seed)
-    weighted = erdos_renyi(n, d_bar=d_bar, seed=seed, weighted=True)
+    """Run the DM matrix; returns one :class:`DMAnalysisRun` per cell.
+
+    ``dataset`` follows :func:`repro.analysis.runner.instance_graph`:
+    ``"er"`` (default), ``"rmat"``, or ``"road"`` (the high-diameter
+    regime -- many thin supersteps, so the epoch and cut bounds are
+    exercised across far more barriers per run).
+    """
+    from repro.analysis.runner import instance_graph
+    plain = instance_graph(dataset, n, d_bar, seed, weighted=False)
+    weighted = instance_graph(dataset, n, d_bar, seed, weighted=True)
     runs: list[DMAnalysisRun] = []
     for algorithm, variants in DM_MATRIX:
         g = weighted if algorithm == "SSSP-Δ" else plain

@@ -1,0 +1,241 @@
+"""Chaos suite: the DM kernel matrix under seeded fault plans.
+
+The fault half of ``python -m repro analyze`` (``--faults``): every
+(algorithm, backend) cell of :data:`~repro.analysis.dm_runner.DM_MATRIX`
+runs against a grid of seeded :class:`~repro.runtime.faults.FaultPlan`\\ s
+with recovery enabled and the epoch checker attached, asserting the
+three robustness contracts:
+
+* **convergence** -- results equal the sequential references (ranks to
+  1e-9; retried float accumulates legally reassociate, nothing else
+  moves);
+* **epoch discipline** -- the :mod:`~repro.analysis.dm_race` checker
+  stays clean *during* recovery (retries and replays are re-issued as
+  real ops with their own flushes, crashes roll the epoch log back);
+* **accounted overhead** -- a faulted run's ``rt.time`` is never below
+  the fault-free baseline on the same instance, and strictly above it
+  whenever recovery did costly work (retries, replays, waits, restarts,
+  straggles).
+
+The communication-bound cross-check of ``analyze --dm`` is *not*
+applied here: retransmissions intentionally exceed the lossless cut
+bounds -- the overhead table is the fault-mode replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.algorithms.dm_bfs import dm_bfs
+from repro.algorithms.dm_pagerank import dm_pagerank
+from repro.algorithms.dm_sssp import dm_sssp_delta
+from repro.algorithms.dm_triangle import dm_triangle_count
+from repro.algorithms.reference import (
+    bfs_reference, pagerank_reference, sssp_reference,
+    triangle_per_vertex_reference,
+)
+from repro.analysis.dm_race import attach_dm_race_detector
+from repro.analysis.dm_runner import DM_MATRIX
+from repro.analysis.runner import instance_graph
+from repro.machine.cost_model import XC40, MachineSpec
+from repro.runtime.dm import DMRuntime
+from repro.runtime.faults import (
+    FaultInjector, FaultPlan, RecoveryConfig, attach_fault_injector,
+)
+
+#: PageRank iterations for every chaos run (small: the suite is a grid)
+_PR_ITERS = 3
+
+#: float tolerance against the references: recovery replays reorder
+#: float accumulate application, which legally reassociates the sums
+_FLOAT_ATOL = 1e-9
+
+
+def default_fault_plans(seed: int) -> list[tuple[str, FaultPlan]]:
+    """The named plan grid: one plan per fault class, plus everything."""
+    return [
+        ("drop", FaultPlan(seed=seed, drop=0.15)),
+        ("duplicate", FaultPlan(seed=seed, duplicate=0.15,
+                                rma_duplicate=0.15)),
+        ("delay", FaultPlan(seed=seed, delay=0.15, reorder=0.10)),
+        ("rma-lost", FaultPlan(seed=seed, rma_lost=0.20)),
+        ("straggler", FaultPlan(seed=seed, straggler=0.10,
+                                straggler_factor=4.0)),
+        ("crash", FaultPlan(seed=seed, crash=0.04)),
+        ("chaos", FaultPlan(seed=seed, drop=0.10, duplicate=0.08,
+                            delay=0.08, reorder=0.05, rma_lost=0.10,
+                            rma_duplicate=0.08, straggler=0.05,
+                            crash=0.02)),
+    ]
+
+
+@dataclass(frozen=True)
+class FaultRun:
+    """One (algorithm, backend, plan, seed) chaos execution."""
+
+    algorithm: str
+    variant: str
+    plan_name: str
+    seed: int
+    converged: bool
+    clean: bool                #: epoch checker reported no races
+    pending_unflushed: int
+    fired: int                 #: fault events injected
+    costly: int                #: recovery actions that must cost time
+    base_time: float           #: fault-free rt.time on the same instance
+    time: float                #: faulted rt.time
+    races: tuple = ()
+
+    @property
+    def overhead(self) -> float:
+        return self.time - self.base_time
+
+    @property
+    def overhead_accounted(self) -> bool:
+        """No faulted run may be faster; costly recovery must be slower."""
+        if self.time < self.base_time - 1e-9:
+            return False
+        return self.costly == 0 or self.time > self.base_time
+
+    @property
+    def ok(self) -> bool:
+        return (self.converged and self.clean
+                and self.pending_unflushed == 0 and self.overhead_accounted)
+
+    def __str__(self) -> str:
+        pct = (100.0 * self.overhead / self.base_time) if self.base_time else 0.0
+        status = "ok" if self.ok else "FAIL"
+        detail = "" if self.ok else (
+            f"  converged={self.converged} clean={self.clean} "
+            f"unflushed={self.pending_unflushed} "
+            f"accounted={self.overhead_accounted}")
+        return (f"{self.algorithm:7s} {self.variant:9s} {self.plan_name:10s} "
+                f"seed={self.seed:<3d} {status:4s} fired={self.fired:4d} "
+                f"overhead={pct:7.1f}%{detail}")
+
+
+def _reference(algorithm: str, g) -> np.ndarray:
+    if algorithm == "PR":
+        return pagerank_reference(g, iterations=_PR_ITERS)
+    if algorithm == "TC":
+        return triangle_per_vertex_reference(g)
+    if algorithm == "BFS":
+        return bfs_reference(g, 0)
+    if algorithm == "SSSP-Δ":
+        return sssp_reference(g, 0)
+    raise ValueError(f"unknown DM algorithm {algorithm!r}")
+
+
+def _run(algorithm: str, g, variant: str, P: int, machine: MachineSpec,
+         plan: FaultPlan | None,
+         recovery: RecoveryConfig | None) -> tuple:
+    """One kernel execution; returns (result, rt, detector, injector)."""
+    rt = DMRuntime(g.n, P, machine=machine.scaled(64))
+    detector = attach_dm_race_detector(rt)
+    injector: FaultInjector | None = None
+    if plan is not None:
+        injector = attach_fault_injector(rt, plan, recovery=recovery)
+    if algorithm == "PR":
+        result = dm_pagerank(g, rt, variant=variant, iterations=_PR_ITERS)
+    elif algorithm == "TC":
+        result = dm_triangle_count(g, rt, variant=variant)
+    elif algorithm == "BFS":
+        result = dm_bfs(g, rt, root=0, variant=variant)
+    else:
+        result = dm_sssp_delta(g, rt, source=0, variant=variant)
+    return result, rt, detector, injector
+
+
+def _converged(algorithm: str, result, ref: np.ndarray) -> bool:
+    if algorithm == "PR":
+        return bool(np.allclose(result.ranks, ref, atol=_FLOAT_ATOL))
+    if algorithm == "TC":
+        return bool(np.array_equal(result.per_vertex, ref))
+    if algorithm == "BFS":
+        return bool(np.array_equal(result.level, ref))
+    return bool(np.allclose(result.dist, ref))
+
+
+def analyze_faults(n: int = 64, P: int = 4, seed: int = 7,
+                   d_bar: float = 4.0, dataset: str = "er",
+                   fault_seeds: Iterable[int] = (0, 1),
+                   plans: Iterable[tuple[str, FaultPlan]] | None = None,
+                   machine: MachineSpec = XC40,
+                   recovery: RecoveryConfig | None = None,
+                   progress: Callable[[str], None] | None = None
+                   ) -> list[FaultRun]:
+    """Run the chaos grid; one :class:`FaultRun` per cell x plan x seed.
+
+    ``fault_seeds`` re-seed the *plans* (the instance stays fixed), so
+    every plan's fault schedule is sampled more than once.  ``plans``
+    defaults to :func:`default_fault_plans`; ``recovery`` defaults to
+    everything enabled.
+    """
+    recovery = recovery if recovery is not None else RecoveryConfig()
+    plain = instance_graph(dataset, n, d_bar, seed, weighted=False)
+    weighted = instance_graph(dataset, n, d_bar, seed, weighted=True)
+    runs: list[FaultRun] = []
+    for algorithm, variants in DM_MATRIX:
+        g = weighted if algorithm == "SSSP-Δ" else plain
+        ref = _reference(algorithm, g)
+        for variant in variants:
+            base_result, base_rt, base_det, _ = _run(
+                algorithm, g, variant, P, machine, None, None)
+            if not (_converged(algorithm, base_result, ref)
+                    and base_det.report().clean):
+                raise AssertionError(
+                    f"fault-free baseline broken: {algorithm}/{variant}")
+            for fseed in fault_seeds:
+                for plan_name, proto in (plans if plans is not None
+                                         else default_fault_plans(fseed)):
+                    plan = (proto if proto.seed == fseed
+                            else replace(proto, seed=fseed))
+                    result, rt, det, inj = _run(
+                        algorithm, g, variant, P, machine, plan, recovery)
+                    report = det.report()
+                    run = FaultRun(
+                        algorithm=algorithm, variant=variant,
+                        plan_name=plan_name, seed=fseed,
+                        converged=_converged(algorithm, result, ref),
+                        clean=report.clean,
+                        pending_unflushed=det.pending_unflushed,
+                        fired=inj.stats.fired(), costly=inj.stats.costly(),
+                        base_time=base_rt.time, time=rt.time,
+                        races=tuple(str(r) for r in report.races[:4]))
+                    runs.append(run)
+                    if progress is not None:
+                        progress(str(run))
+    return runs
+
+
+def overhead_table(runs: list[FaultRun]) -> list[dict]:
+    """Mean relative overhead per (algorithm, backend, plan) -- the
+    Table-style fault-overhead curves of the chaos suite."""
+    rows: dict[tuple, list[float]] = {}
+    for r in runs:
+        if r.base_time > 0:
+            rows.setdefault((r.algorithm, r.variant, r.plan_name),
+                            []).append(r.overhead / r.base_time)
+    return [
+        {"algorithm": a, "variant": v, "plan": p,
+         "overhead_pct": round(100.0 * sum(vals) / len(vals), 1)}
+        for (a, v, p), vals in rows.items()
+    ]
+
+
+def format_overhead_table(runs: list[FaultRun]) -> str:
+    lines = ["fault overhead (mean % of fault-free time):",
+             f"{'kernel':9s}{'backend':11s}" + "".join(
+                 f"{name:>11s}" for name, _ in default_fault_plans(0))]
+    table = {(row["algorithm"], row["variant"], row["plan"]):
+             row["overhead_pct"] for row in overhead_table(runs)}
+    for algorithm, variants in DM_MATRIX:
+        for variant in variants:
+            cells = "".join(
+                f"{table.get((algorithm, variant, name), 0.0):>10.1f}%"
+                for name, _ in default_fault_plans(0))
+            lines.append(f"{algorithm:9s}{variant:11s}" + cells)
+    return "\n".join(lines)

@@ -23,6 +23,17 @@ without running anything; four rules are enforced:
     A function launches a region with ``barrier=False`` but never calls
     ``.barrier()`` itself, so the region's accesses bleed into the next
     epoch with no synchronization point.
+``ANL005`` (untyped-channel)
+    A superstep body (the distributed-memory analogue of a parallel
+    region) calls ``rt.send`` without ``tag=`` or a data-carrying RMA
+    verb (``rt.put`` / ``rt.accumulate`` / ``rt.rma_put`` /
+    ``rt.rma_accumulate``) without ``window=``.  Untagged messages
+    cannot be matched by ``inbox(tag)`` (the epoch checker's early-inbox
+    rule keys on tags), and window-less RMA is invisible to the
+    write-vs-accumulate epoch discipline and to crash rollback.
+    Superstep bodies are resolved through ``rt.superstep(body)`` call
+    sites, including one level of local helper calls (buffered-flush
+    idiom).
 
 Direction classification is heuristic but matches the repo's idiom: a
 body (or an enclosing function) named ``*push*``/``*pull*``, or a body
@@ -38,6 +49,10 @@ from pathlib import Path
 from typing import Iterable
 
 REGION_METHODS = {"parallel_for": 1, "for_each_thread": 0, "sequential": 0}
+#: DM runtime receivers whose comm verbs ANL005 checks (keeps ufunc
+#: methods like ``np.add.accumulate`` / ``itertools.accumulate`` out)
+RUNTIME_NAMES = {"rt", "runtime"}
+RMA_VERBS = {"put", "accumulate", "rma_put", "rma_accumulate"}
 STORE_DECLS = {"write", "cas", "faa", "lock"}
 ATOMIC_DECLS = {"cas", "faa", "lock"}
 SCATTER_UFUNCS = {"add", "subtract", "minimum", "maximum", "multiply",
@@ -214,6 +229,39 @@ class _BodyScan(ast.NodeVisitor):
                 if n not in self.local_names]
 
 
+class _CommScan(ast.NodeVisitor):
+    """Collect a superstep body's comm-verb calls and local helper calls
+    (for ANL005's one-level helper expansion)."""
+
+    def __init__(self) -> None:
+        self.violations: list[tuple] = []    # (verb, line, missing kw)
+        self.helper_calls: list[str] = []    # local functions invoked
+
+    def scan(self, fn: ast.AST) -> "_CommScan":
+        body = getattr(fn, "body", None)
+        for stmt in (body if isinstance(body, list) else [ast.Expr(body)]):
+            self.visit(stmt)
+        return self
+
+    def visit_Call(self, node: ast.Call) -> None:
+        f = node.func
+        if isinstance(f, ast.Name):
+            self.helper_calls.append(f.id)
+        elif (isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name)
+                and f.value.id in RUNTIME_NAMES):
+            kwargs = {kw.arg for kw in node.keywords}
+            if f.attr == "send" and "tag" not in kwargs:
+                self.violations.append(("send", node.lineno, "tag"))
+            elif f.attr in RMA_VERBS and "window" not in kwargs:
+                self.violations.append((f.attr, node.lineno, "window"))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass                     # nested defs are their own bodies
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
 @dataclass
 class _RegionBody:
     fn: ast.AST                  # FunctionDef or Lambda target
@@ -235,6 +283,7 @@ class _ModuleIndex(ast.NodeVisitor):
         self.region_calls: list[tuple] = []   # (call, body_expr, enclosing, chain)
         self.barrier_calls: dict[int, bool] = {}   # id(enclosing fn) -> True
         self.barrier_false: list[tuple] = []  # (call node, enclosing fn, chain)
+        self.superstep_calls: list[tuple] = []  # (call, body_expr, chain, scopes)
 
     def _enclosing(self):
         return self.stack[-1][1] if self.stack else None
@@ -300,6 +349,15 @@ class _ModuleIndex(ast.NodeVisitor):
             elif f.attr == "barrier":
                 enc = self._enclosing()
                 self.barrier_calls[id(enc)] = True
+            elif f.attr == "superstep":
+                body = node.args[0] if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "body":
+                        body = kw.value
+                if body is not None:
+                    chain = tuple(n for n, _ in reversed(self.stack))
+                    self.superstep_calls.append(
+                        (node, body, chain, list(self.scopes)))
         self.generic_visit(node)
 
 
@@ -392,6 +450,38 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
                     "push kernel calls owned_write_check: the ownership "
                     "assertion is the pull contract; push variants "
                     "declare remote writes with atomics/locks instead"))
+
+    # ANL005: untyped channels inside superstep bodies
+    seen_ss: set[int] = set()
+    for call, body_expr, chain, scopes in index.superstep_calls:
+        fn = _resolve_body(body_expr, scopes)
+        if fn is None or id(fn) in seen_ss:
+            continue
+        seen_ss.add(id(fn))
+        if isinstance(fn, ast.Lambda):
+            qual = ".".join(reversed(chain) or ("<module>",)) + ".<lambda>"
+        else:
+            qual = ".".join(reversed(index.defs_chain.get(id(fn), (fn.name,))))
+        scan = _CommScan().scan(fn)
+        expanded: set[int] = {id(fn)}
+        for helper in scan.helper_calls:
+            for scope in reversed(scopes):
+                if helper in scope:
+                    h = scope[helper]
+                    if id(h) not in expanded:
+                        expanded.add(id(h))
+                        scan.scan(h)
+                    break
+        for verb, ln, missing in scan.violations:
+            what = ("messages cannot be matched by inbox(tag) and evade "
+                    "the epoch checker's channel discipline"
+                    if missing == "tag" else
+                    "the operation is invisible to the write-vs-accumulate "
+                    "epoch rules and to crash rollback")
+            findings.append(LintFinding(
+                "ANL005", path, ln, qual,
+                f"superstep body calls rt.{verb}(...) without "
+                f"{missing}=: {what}"))
 
     return findings
 

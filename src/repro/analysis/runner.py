@@ -23,7 +23,7 @@ from repro.algorithms.sssp_delta import sssp_delta
 from repro.algorithms.triangle import triangle_count
 from repro.analysis.crosscheck import CrossCheckResult, crosscheck
 from repro.analysis.race import RaceReport, attach_race_detector
-from repro.generators import erdos_renyi, rmat
+from repro.generators import erdos_renyi, rmat, road_network
 from repro.graph.csr import CSRGraph
 from repro.machine.cost_model import XC30, MachineSpec
 from repro.machine.memory import CountingMemory
@@ -107,15 +107,26 @@ def _crosscheck_params(algorithm: str, result) -> dict:
     return params
 
 
-def _instance(dataset: str, n: int, d_bar: float, seed: int,
-              weighted: bool) -> CSRGraph:
+def instance_graph(dataset: str, n: int, d_bar: float, seed: int,
+                   weighted: bool) -> CSRGraph:
+    """Build the analysis instance for ``dataset`` at roughly ``n`` vertices.
+
+    ``"er"`` is Erdős–Rényi at exactly ``n``; ``"rmat"`` rounds up to the
+    nearest power of two (skewed degrees); ``"road"`` is the sparsified
+    lattice at ``ceil(sqrt(n))²`` vertices -- the high-diameter extreme
+    of Table 2, where traversal kernels run many thin supersteps.
+    """
+    import math
     if dataset == "er":
         return erdos_renyi(n, d_bar=d_bar, seed=seed, weighted=weighted)
     if dataset == "rmat":
-        import math
         scale = max(4, math.ceil(math.log2(max(n, 2))))
         return rmat(scale, d_bar=d_bar, seed=seed, weighted=weighted)
-    raise ValueError(f"unknown dataset {dataset!r}; choose 'er' or 'rmat'")
+    if dataset == "road":
+        side = max(3, math.ceil(math.sqrt(max(n, 1))))
+        return road_network(side, side, seed=seed, weighted=weighted)
+    raise ValueError(
+        f"unknown dataset {dataset!r}; choose 'er', 'rmat', or 'road'")
 
 
 def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
@@ -129,16 +140,17 @@ def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
     """Run the full matrix; returns one :class:`AnalysisRun` per cell.
 
     ``dataset`` selects the instance family: ``"er"`` (Erdős–Rényi, the
-    default) or ``"rmat"`` (the registry Kronecker/R-MAT generator at
-    ``scale = ceil(log2 n)`` -- skewed degrees at a small scale).
+    default), ``"rmat"`` (the registry Kronecker/R-MAT generator at
+    ``scale = ceil(log2 n)`` -- skewed degrees at a small scale), or
+    ``"road"`` (sparsified lattice -- the high-diameter regime).
     """
     algos = tuple(algorithms) if algorithms else ALGORITHMS
     unknown = set(algos) - set(ALGORITHMS)
     if unknown:
         raise ValueError(f"unknown algorithm(s) {sorted(unknown)}; "
                          f"choose from {ALGORITHMS}")
-    plain = _instance(dataset, n, d_bar, seed, weighted=False)
-    weighted = _instance(dataset, n, d_bar, seed, weighted=True)
+    plain = instance_graph(dataset, n, d_bar, seed, weighted=False)
+    weighted = instance_graph(dataset, n, d_bar, seed, weighted=True)
 
     runs: list[AnalysisRun] = []
     for algorithm in algos:

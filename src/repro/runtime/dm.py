@@ -25,14 +25,32 @@ one of two backends:
 An ``observer`` (set by ``attach_dm_race_detector``) receives every
 communication event; with no observer attached the hooks are single
 ``is None`` checks, and all cost accounting is identical either way.
+A second optional hook, ``rt.faults`` (set by
+:func:`repro.runtime.faults.attach_fault_injector`), perturbs
+communication at superstep boundaries; without it every channel is the
+lossless synchronous network of the paper.
+
+To give faults something real to corrupt, the runtime carries a
+**window registry** (:meth:`DMRuntime.register_window`) and two
+data-carrying RMA verbs, :meth:`DMRuntime.put` and
+:meth:`DMRuntime.accumulate`: remote operations are *staged* -- cost
+and observer event charged at issue, data applied to the registered
+array at ``rma_flush`` in issue order -- so a lost flush genuinely
+loses the update and a duplicated accumulate genuinely double-counts
+unless recovery dedups it.  With no faults attached the staged apply at
+the kernel's own flush is bit-identical to an immediate apply.  The
+registry doubles as the checkpoint set for crash rollback.
 
 Simulated time per superstep is the max over processes of the event
-cost accumulated in that superstep (BSP accounting); the α-β weights
-live in :class:`repro.machine.cost_model.MachineSpec`.
+cost accumulated in that superstep (BSP accounting), plus any recovery
+waits (retry backoff, delayed-message stalls, restart penalties) and
+straggler multipliers the fault layer charges; the α-β weights live in
+:class:`repro.machine.cost_model.MachineSpec`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -41,6 +59,24 @@ from repro.graph.partition import Partition1D
 from repro.machine.cost_model import MachineSpec, XC40
 from repro.machine.counters import PerfCounters
 from repro.machine.memory import CountingMemory, MemoryModel
+
+
+@dataclass
+class _StagedOp:
+    """A data-carrying put/accumulate awaiting completion at a flush."""
+
+    seq: int
+    rank: int
+    owner: int
+    window: Any               #: as passed (handle or name) -- for observers
+    wkey: str                 #: registry key
+    idx: np.ndarray
+    vals: np.ndarray
+    kind: str                 #: 'acc' | 'put'
+    dtype: str | None
+    op_count: int
+    nbytes: int
+    applied: bool = False
 
 
 class DMRuntime:
@@ -57,11 +93,19 @@ class DMRuntime:
         self.superstep_index = 0
         #: epoch-checker hook (see repro.analysis.dm_race); None = no-op
         self.observer = None
+        #: fault-injection hook (see repro.runtime.faults); None = lossless
+        self.faults = None
         self._rank: int | None = None
-        # mailboxes[dest] = list of (source, payload, tag) delivered next
-        # superstep
-        self._in_flight: list[list[tuple[int, Any, Any]]] = [[] for _ in range(P)]
-        self._mailboxes: list[list[tuple[int, Any, Any]]] = [[] for _ in range(P)]
+        # mailboxes[dest] = list of (source, payload, tag, nbytes, seq)
+        # delivered next superstep (tag stays at index 2 -- the epoch
+        # checker's inbox matching relies on it)
+        self._in_flight: list[list[tuple]] = [[] for _ in range(P)]
+        self._mailboxes: list[list[tuple]] = [[] for _ in range(P)]
+        #: window registry: data-carrying RMA targets + crash checkpoints
+        self._windows: dict[str, np.ndarray] = {}
+        self._staged: list[_StagedOp] = []
+        self._applied_seqs: set[int] = set()
+        self._next_seq = 0
         self.mem.set_counters(self.proc_counters[0])
 
     # -- process bookkeeping ------------------------------------------------------
@@ -89,6 +133,12 @@ class DMRuntime:
         self._rank = None
         self._in_flight = [[] for _ in range(self.P)]
         self._mailboxes = [[] for _ in range(self.P)]
+        self._windows = {}
+        self._staged = []
+        self._applied_seqs = set()
+        self._next_seq = 0
+        if self.faults is not None:
+            self.faults.reset()
         self.mem.set_counters(self.proc_counters[0])
 
     def _activate(self, p: int) -> None:
@@ -109,37 +159,93 @@ class DMRuntime:
 
         Time advances by the slowest process in the superstep plus a
         barrier (the implicit synchronization of the MP model / the
-        window synchronization of RMA).
+        window synchronization of RMA).  Per-process spans are measured
+        over the whole superstep -- including costs charged to a process
+        by another's body (the TC-MP reply emulation) and any recovery
+        work the fault layer performs at the boundary -- then stretched
+        by straggler factors before the max is taken; recovery waits
+        (retry backoff, redelivery, restart timeouts) stall the barrier
+        itself, after the max, so they are never hidden by skew.
+
+        With a fault injector attached, processes drawn to crash run
+        against a pre-body snapshot of every registered window: the
+        failed attempt's effects (window state, outgoing messages,
+        staged ops, consumed mailbox) are rolled back, the observer is
+        told to forget the attempt (``on_rollback``), and -- under
+        checkpoint/restart recovery -- the body reruns after a detection
+        timeout.  The failed attempt's counters stay: that work was done
+        and lost, and it is exactly the overhead BSP time must show.
         """
         if self.observer is not None:
             self.observer.on_superstep_begin(self.superstep_index)
+        faults = self.faults
+        crashes = faults.begin_superstep() if faults is not None else ()
+        befores = [self.machine.time(c) for c in self.proc_counters]
+        for p in range(self.P):
+            snapshot = self._snapshot(p) if p in crashes else None
+            self._activate(p)
+            body(p)
+            if snapshot is not None:
+                faults.crash(p, snapshot, body)
+        self._rank = None
+        if faults is not None:
+            faults.boundary()
         span = 0.0
         for p in range(self.P):
-            self._activate(p)
-            before = self.machine.time(self.proc_counters[p])
-            body(p)
-            span = max(span, self.machine.time(self.proc_counters[p]) - before)
-        self._rank = None
+            s = self.machine.time(self.proc_counters[p]) - befores[p]
+            if faults is not None:
+                s = s * faults.straggler_factor(p)
+            span = max(span, s)
+        if faults is not None:
+            span += faults.consume_stall()
         self.time += span + self.machine.w_barrier
         for c in self.proc_counters:
             c.barriers += 1
         # deliver in-flight messages
         self._mailboxes = self._in_flight
         self._in_flight = [[] for _ in range(self.P)]
+        self._applied_seqs.clear()
         self.superstep_index += 1
         if self.observer is not None:
             self.observer.on_superstep_end()
 
+    # -- crash checkpointing ---------------------------------------------------------
+    def _snapshot(self, p: int) -> dict:
+        """Everything ``body(p)`` may touch, captured just before it runs."""
+        return {
+            "windows": {k: a.copy() for k, a in self._windows.items()},
+            "mailbox": list(self._mailboxes[p]),
+            "in_flight": [len(box) for box in self._in_flight],
+            "staged": len(self._staged),
+        }
+
+    def _restore(self, p: int, snapshot: dict) -> None:
+        """Undo ``body(p)`` (processes run sequentially, so this is exact)."""
+        for k, a in snapshot["windows"].items():
+            self._windows[k][:] = a
+        self._mailboxes[p] = snapshot["mailbox"]
+        for dest, ln in enumerate(snapshot["in_flight"]):
+            del self._in_flight[dest][ln:]
+        del self._staged[snapshot["staged"]:]
+
     # -- Message Passing -----------------------------------------------------------
     def send(self, dest: int, payload: Any, nbytes: int | None = None,
              tag: Any = None) -> None:
-        """Post a point-to-point message (delivered next superstep)."""
+        """Post a sequence-numbered point-to-point message.
+
+        Delivered at the next superstep boundary -- where the fault
+        layer, if attached, draws its fate (drop/duplicate/delay and
+        the recovery retries).
+        """
+        nb = self._payload_bytes(payload) if nbytes is None else int(nbytes)
         c = self.proc_counters[self.rank]
         c.messages += 1
-        c.msg_bytes += self._payload_bytes(payload) if nbytes is None else int(nbytes)
+        c.msg_bytes += nb
         if self.observer is not None:
             self.observer.on_send(self.rank, dest, tag)
-        self._in_flight[dest].append((self.rank, payload, tag))
+        self._in_flight[dest].append((self.rank, payload, tag, nb,
+                                      self._next_seq))
+        self._next_seq += 1
 
     def inbox(self, tag: Any = None) -> list[tuple[int, Any]]:
         """Messages delivered to this process at the last boundary.
@@ -158,7 +264,7 @@ class DMRuntime:
         self._mailboxes[self.rank] = keep
         # receive cost: latency per message is paid by the receiver too
         self.proc_counters[self.rank].messages += 0  # latency counted at sender
-        return [(src, payload) for src, payload, _ in msgs]
+        return [(m[0], m[1]) for m in msgs]
 
     def alltoallv(self, contributions: list[list[Any]]) -> list[list[Any]]:
         """The MPI_Alltoallv collective.
@@ -186,6 +292,8 @@ class DMRuntime:
         for q in range(self.P):
             c = self.proc_counters[q]
             c.collective_bytes += sum(self._payload_bytes(x) for x in received[q])
+        if self.faults is not None:
+            self.faults.perturb_alltoallv(received)
         return received
 
     # -- Remote Memory Access ----------------------------------------------------------
@@ -219,9 +327,120 @@ class DMRuntime:
                         local_kind="faa" if dtype != "float" else "cas")
 
     def rma_flush(self, owner: int | None = None) -> None:
+        """Complete this process's outstanding staged puts/accumulates."""
         self.proc_counters[self.rank].flushes += 1
         if self.observer is not None:
             self.observer.on_flush(self.rank, owner)
+        self._complete_staged(self.rank, owner)
+
+    # -- data-carrying RMA (window registry + staged completion) -----------------------
+    def register_window(self, window, array: np.ndarray) -> None:
+        """Expose ``array`` as the storage behind a window handle (or name).
+
+        Required before :meth:`put`/:meth:`accumulate` can target the
+        window; also the checkpoint set crash rollback restores.
+        Re-registering a name overwrites the binding (kernels register
+        their windows at entry, every run).
+        """
+        self._windows[self._window_key(window)] = array
+
+    def put(self, owner: int, vals, *, window, idx, itemsize: int = 8,
+            ops: int | None = None) -> None:
+        """A :meth:`rma_put` that moves data through the window registry.
+
+        Charges exactly what ``rma_put(owner, len(idx), ...)`` charges
+        and fires the same observer event; a local put stores
+        immediately, a remote one is staged until ``rma_flush``.
+        """
+        vals = np.asarray(vals)
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        op_count = len(idx) if ops is None else int(ops)
+        if self.observer is not None:
+            self.observer.on_rma("put", self.rank, owner, window, idx, None)
+        self._remote_op(owner, "remote_puts", op_count * itemsize,
+                        op_count=op_count, local_kind="write")
+        self._stage_or_apply("put", owner, window, idx, vals, None,
+                             op_count, op_count * itemsize)
+
+    def accumulate(self, owner: int, vals, *, window, idx,
+                   dtype: str = "float", itemsize: int = 8,
+                   ops: int | None = None) -> None:
+        """An :meth:`rma_accumulate` that moves data (``+=`` at the target).
+
+        Charges exactly what ``rma_accumulate(owner, n, dtype, ...)``
+        charges for ``n = len(idx)`` (or ``ops``, for kernels that
+        account several logical updates in one batched entry, like TC's
+        per-witness counts) and fires the same observer event.  Local
+        accumulates apply immediately (they are processor atomics);
+        remote ones are staged until ``rma_flush``, in issue order, so
+        fault-free float results are bit-identical to immediate
+        application.
+        """
+        vals = np.asarray(vals)
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        op_count = len(idx) if ops is None else int(ops)
+        if self.observer is not None:
+            self.observer.on_rma("acc", self.rank, owner, window, idx, dtype)
+        attr = "remote_acc_float" if dtype == "float" else "remote_acc_int"
+        self._remote_op(owner, attr, op_count * itemsize, op_count=op_count,
+                        local_kind="faa" if dtype != "float" else "cas")
+        self._stage_or_apply("acc", owner, window, idx, vals, dtype,
+                             op_count, op_count * itemsize)
+
+    def _stage_or_apply(self, kind: str, owner: int, window, idx, vals,
+                        dtype, op_count: int, nbytes: int) -> None:
+        op = _StagedOp(seq=self._next_seq, rank=self.rank, owner=owner,
+                       window=window, wkey=self._window_key(window),
+                       idx=idx, vals=vals, kind=kind, dtype=dtype,
+                       op_count=op_count, nbytes=nbytes)
+        self._next_seq += 1
+        if owner == self.rank:
+            # local window update: no network to fault, applies now
+            self._apply_staged(op)
+            return
+        self._staged.append(op)
+
+    def _complete_staged(self, rank: int, owner: int | None = None) -> None:
+        for op in self._staged:
+            if op.applied or op.rank != rank:
+                continue
+            if owner is not None and op.owner != owner:
+                continue
+            if self.faults is not None:
+                self.faults.flush_op(op)
+            else:
+                self._apply_staged(op)
+        if self.faults is None:
+            self._staged = [op for op in self._staged if not op.applied]
+
+    def _apply_staged(self, op: _StagedOp) -> bool:
+        """Apply a staged op; ``False`` = suppressed by sequence dedup."""
+        arr = self._window_array(op.window)
+        faults = self.faults
+        if (faults is not None and faults.dedup
+                and op.seq in self._applied_seqs):
+            return False
+        self._applied_seqs.add(op.seq)
+        if op.kind == "acc":
+            np.add.at(arr, op.idx, op.vals)
+        else:
+            arr[op.idx] = op.vals
+        op.applied = True
+        return True
+
+    @staticmethod
+    def _window_key(window) -> str:
+        return str(getattr(window, "name", window))
+
+    def _window_array(self, window) -> np.ndarray:
+        key = self._window_key(window)
+        try:
+            return self._windows[key]
+        except KeyError:
+            raise KeyError(
+                f"window {key!r} is not registered; call "
+                "rt.register_window(handle, array) before data-carrying "
+                "put/accumulate") from None
 
     def _remote_op(self, owner: int, attr: str, nbytes: int,
                    op_count: int = 1, local_kind: str = "read") -> None:

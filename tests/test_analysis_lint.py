@@ -183,3 +183,73 @@ class TestCLIExitCodes:
         from repro.__main__ import main
         assert main(["analyze", "--lint", str(FIXTURE)]) != 0
         assert "ANL002" in capsys.readouterr().out
+
+
+class TestANL005:
+    def test_untagged_send_in_superstep_body(self):
+        src = """
+def kernel(g, rt):
+    def body(p):
+        rt.send(1, (1, 2), nbytes=16)
+    rt.superstep(body)
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL005"}
+        assert "tag=" in findings[0].message
+
+    def test_windowless_rma_verbs(self):
+        src = """
+def kernel(g, rt):
+    def body(p):
+        rt.accumulate(1, [1.0], idx=[0], dtype="float")
+        rt.put(0, [1], idx=[0])
+        rt.rma_accumulate(1, 4, idx=[0])
+    rt.superstep(body)
+"""
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["ANL005"] * 3
+        assert all("window=" in f.message for f in findings)
+
+    def test_helper_called_from_body_is_scanned(self):
+        src = """
+def kernel(g, rt):
+    def flush(q):
+        rt.send(q, None, nbytes=8)
+    def body(p):
+        flush(p)
+    rt.superstep(body)
+"""
+        assert _rules(lint_source(src)) == {"ANL005"}
+
+    def test_tagged_and_windowed_calls_are_clean(self):
+        src = """
+def kernel(g, rt):
+    def body(p):
+        rt.send(1, None, nbytes=8, tag="disc")
+        rt.accumulate(1, [1.0], window="acc", idx=[0], dtype="float")
+        rt.put(0, [1], window="acc", idx=[0])
+    rt.superstep(body)
+"""
+        assert lint_source(src) == []
+
+    def test_ufunc_accumulate_not_confused(self):
+        src = """
+import numpy as np
+import itertools
+
+def kernel(g, rt):
+    def body(p):
+        np.add.accumulate([1, 2])
+        list(itertools.accumulate([1, 2]))
+    rt.superstep(body)
+"""
+        assert lint_source(src) == []
+
+    def test_comm_outside_superstep_not_flagged(self):
+        # ANL005 is scoped to superstep bodies; module-level helpers that
+        # are never launched as bodies are out of its jurisdiction
+        src = """
+def helper(rt):
+    rt.send(1, None, nbytes=8)
+"""
+        assert lint_source(src) == []

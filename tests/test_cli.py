@@ -66,3 +66,27 @@ class TestExperimentsForwarding:
     def test_forwards_to_run_all(self, capsys):
         assert main(["experiments", "--quick", "table2"]) == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+class TestAnalyzeFaults:
+    def test_chaos_suite_runs_clean(self, capsys):
+        rc = main(["analyze", "--faults", "--scale", "36", "-P", "4",
+                   "--fault-seeds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos suite" in out
+        assert "faults: 0 failing" in out
+        assert "fault overhead" in out
+
+    def test_faults_flag_skips_other_passes(self, capsys):
+        assert main(["analyze", "--faults", "--scale", "36",
+                     "--fault-seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" not in out and "epoch checker" not in out
+
+    def test_road_dataset_accepted(self, capsys):
+        rc = main(["analyze", "--dm", "--dataset", "road",
+                   "--scale", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "road n=64" in out and "dm: 0 failing" in out

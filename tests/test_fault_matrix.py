@@ -1,0 +1,89 @@
+"""Chaos-suite matrix tests (repro.analysis.fault_runner) + road dataset.
+
+The heavy gate runs from CI via ``repro analyze --faults``; here the
+matrix is exercised at a reduced scale so the contracts -- convergence
+under every fault plan, epoch-checker cleanliness during recovery, and
+strictly-accounted overhead -- are part of the tier-1 battery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dm_runner import DM_MATRIX, analyze_dm
+from repro.analysis.fault_runner import (
+    FaultRun, analyze_faults, default_fault_plans, format_overhead_table,
+    overhead_table,
+)
+from repro.analysis.runner import analyze_algorithms, instance_graph
+from repro.runtime.faults import FaultPlan
+
+
+@pytest.fixture(scope="module")
+def runs() -> list[FaultRun]:
+    return analyze_faults(n=40, P=4, fault_seeds=(0,))
+
+
+class TestChaosMatrix:
+    def test_every_cell_and_plan_passes(self, runs):
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_full_matrix_is_covered(self, runs):
+        cells = {(r.algorithm, r.variant) for r in runs}
+        expected = {(a, v) for a, vs in DM_MATRIX for v in vs}
+        assert cells == expected
+        plans = {r.plan_name for r in runs}
+        assert plans == {name for name, _ in default_fault_plans(0)}
+
+    def test_faults_actually_fired(self, runs):
+        # the chaos plan must fire on every cell; per-class plans only
+        # fire where their channel exists (no drops on pure-RMA kernels)
+        chaos = [r for r in runs if r.plan_name == "chaos"]
+        assert all(r.fired > 0 for r in chaos)
+        assert sum(r.fired for r in runs) > 100
+
+    def test_costly_recovery_shows_in_overhead(self, runs):
+        costly = [r for r in runs if r.costly > 0]
+        assert costly, "no run did costly recovery work?"
+        assert all(r.overhead > 0 for r in costly)
+
+    def test_overhead_table_shape(self, runs):
+        rows = overhead_table(runs)
+        assert all(row["overhead_pct"] >= 0 for row in rows)
+        text = format_overhead_table(runs)
+        assert "chaos" in text and "SSSP" in text
+
+    def test_custom_plan_list(self):
+        plans = [("drop-only", FaultPlan(seed=0, drop=0.2))]
+        runs = analyze_faults(n=32, P=4, fault_seeds=(0,), plans=plans)
+        assert {r.plan_name for r in runs} == {"drop-only"}
+        assert all(r.ok for r in runs)
+
+
+class TestRoadDataset:
+    def test_instance_graph_road(self):
+        g = instance_graph("road", 64, 4.0, 7, weighted=True)
+        assert g.n == 64 and g.weights is not None
+
+    def test_instance_graph_unknown(self):
+        with pytest.raises(ValueError, match="road"):
+            instance_graph("socnet", 64, 4.0, 7, weighted=False)
+
+    def test_dm_matrix_on_road(self):
+        runs = analyze_dm(n=64, P=4, dataset="road")
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_sm_matrix_on_road(self):
+        runs = analyze_algorithms(n=64, P=4, dataset="road",
+                                  algorithms=("BFS", "SSSP-Δ"))
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_chaos_on_road(self):
+        plans = [("chaos", default_fault_plans(0)[-1][1])]
+        runs = analyze_faults(n=36, P=4, dataset="road",
+                              fault_seeds=(0,), plans=plans)
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
