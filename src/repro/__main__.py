@@ -11,6 +11,13 @@ Commands
     summary plus the event counters.
 ``experiments [...]``
     Forwarded to :mod:`repro.harness.run_all`.
+``analyze [...]``
+    Race-detect, epoch-check, lint, and chaos-test the kernels.
+``trace <algorithm> [--variant v] [--dm] [--faults] --out DIR``
+    Run one kernel under the observability tracer and export the
+    Chrome trace, JSONL event log, and metrics rollup
+    (:mod:`repro.observability`); ``--bench`` writes the
+    ``BENCH_trace.json`` perf-baseline sweep instead.
 """
 
 from __future__ import annotations
@@ -74,7 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("--fault-seeds", type=int, default=2,
                     help="number of fault-plan seeds per chaos cell")
     an.add_argument("--dataset", default="er",
-                    choices=("er", "rmat", "road"),
+                    choices=("er", "rmat", "road", "comm"),
                     help="instance family for the dynamic pass")
     an.add_argument("--threads", "-P", type=int, default=4)
     an.add_argument("--scale", type=int, default=120,
@@ -86,6 +93,36 @@ def _build_parser() -> argparse.ArgumentParser:
                     metavar="NAME",
                     help="restrict the dynamic pass (repeatable); "
                          "names as in Section 4: PR TC BFS SSSP-Δ BC BGC MST")
+
+    tr = sub.add_parser(
+        "trace",
+        help="run one kernel under the tracer and export "
+             "Chrome-trace/JSONL/metrics views")
+    tr.add_argument("algorithm", nargs="?", default=None,
+                    choices=("pagerank", "bfs", "sssp"))
+    tr.add_argument("--variant", default="push",
+                    choices=("push", "pull", "push-pa", "switching", "mp"),
+                    help="push/pull everywhere; push-pa (SM pagerank), "
+                         "switching (bfs), mp (DM pagerank)")
+    tr.add_argument("--dm", action="store_true",
+                    help="run on the distributed-memory runtime")
+    tr.add_argument("--faults", action="store_true",
+                    help="inject the default chaos fault plan "
+                         "(requires --dm)")
+    tr.add_argument("--out", required=True,
+                    help="output directory (or the target file "
+                         "with --bench)")
+    tr.add_argument("--dataset", default="er",
+                    choices=("er", "rmat", "road", "comm"))
+    tr.add_argument("--scale", type=int, default=96,
+                    help="vertex count of the traced instance")
+    tr.add_argument("--seed", type=int, default=7)
+    tr.add_argument("--threads", "-P", type=int, default=4, dest="procs")
+    tr.add_argument("--iterations", type=int, default=5)
+    tr.add_argument("--fault-seed", type=int, default=1)
+    tr.add_argument("--bench", action="store_true",
+                    help="write the BENCH_trace.json perf baseline sweep "
+                         "instead of a single trace")
     return ap
 
 
@@ -291,6 +328,13 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "trace":
+        from repro.observability.driver import trace_main
+        try:
+            return trace_main(args)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     from repro.harness.run_all import main as run_all_main
     return run_all_main(args.rest)
 

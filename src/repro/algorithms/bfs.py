@@ -89,6 +89,10 @@ class BFSState:
     # -- one level ------------------------------------------------------------
     def step(self, direction: str) -> None:
         check_direction(direction)
+        tr = getattr(self.rt, "tracer", None)
+        if tr is not None:
+            tr.on_frontier(self.cur_level, len(self.frontier), self.g.n)
+        self.rt.annotate(f"bfs.{direction}")
         t0 = self.rt.time
         if direction == PUSH:
             nxt = self._step_push()
@@ -133,11 +137,23 @@ class BFSState:
                 level[fresh] = nxt_level
                 my_f.extend(t, fresh)
 
-        rt.parallel_for(self.frontier, body, by_owner=True)
-        nxt = my_f.merge(mem, handle=self.front_h)
-        # the merged frontier is written back as the new bitmap
-        if len(nxt):
-            mem.write(self.front_h, idx=nxt, mode="rand")
+        # Algorithm 3's level shape: explore, k-filter the my_Fs into F,
+        # one barrier.  The merge runs as its own (serial) phase so its
+        # events are attributed to a region instead of landing on an
+        # arbitrary thread with no simulated time attached
+        rt.parallel_for(self.frontier, body, by_owner=True, barrier=False)
+        nxt = np.empty(0, dtype=np.int64)
+
+        def kfilter() -> None:
+            nonlocal nxt
+            nxt = my_f.merge(mem, handle=self.front_h)
+            # the merged frontier is written back as the new bitmap
+            if len(nxt):
+                mem.write(self.front_h, idx=nxt, mode="rand")
+
+        rt.annotate("bfs.kfilter")
+        rt.sequential(kfilter, barrier=False)
+        rt.barrier()
         return nxt
 
     def _step_pull(self) -> np.ndarray:

@@ -87,14 +87,29 @@ def dm_bfs(g: CSRGraph, rt: DMRuntime, root: int, variant: str = PUSH,
     explored = int(degrees[root])
     direction = PUSH
 
+    tr = getattr(rt, "tracer", None)
     while len(frontier):
+        if tr is not None:
+            tr.on_frontier(depth, len(frontier), n,
+                           edges=int(degrees[frontier].sum()))
         if variant == SWITCHING:
             fe = int(degrees[frontier].sum())
+            previous = direction
             direction = policy.choose(direction, fe, total_edges - explored,
                                       len(frontier), n)
+            if tr is not None:
+                tr.on_switch(depth, previous, direction, {
+                    "frontier_edges": fe,
+                    "unexplored_edges": total_edges - explored,
+                    "frontier_size": len(frontier),
+                    "n": n,
+                    "alpha": policy.alpha,
+                    "beta": policy.beta,
+                })
         else:
             direction = variant
         depth += 1
+        rt.annotate(f"bfs.{direction}")
         if direction == PUSH:
             nxt = _level_push(g, rt, mem, off_h, adj_h, par_h, owner,
                               parent, level, frontier, depth)

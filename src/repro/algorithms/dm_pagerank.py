@@ -111,6 +111,7 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                     mem.write(acc_h, idx=uniq, mode="rand")
                     contributions[p][q] = (uniq, uv[uniq])
 
+            rt.annotate("pr.mp-compute")
             rt.superstep(compute)
             received = rt.alltoallv(contributions)
             buf = max(
@@ -131,6 +132,7 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                     np.add.at(acc, idx, vals)
                     mem.flop(len(idx))
 
+            rt.annotate("pr.mp-apply")
             rt.superstep(apply)
 
         elif variant == RMA_PUSH:
@@ -171,6 +173,7 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                                   dtype="float")
                 rt.rma_flush()
 
+            rt.annotate("pr.rma-push")
             rt.superstep(compute)
 
         else:  # RMA_PULL
@@ -205,6 +208,7 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
                 mem.write(acc_h, start=int(vs[0]), count=len(vs))
                 rt.rma_flush()
 
+            rt.annotate("pr.rma-pull")
             rt.superstep(compute)
 
         # finalize (always local)
@@ -217,6 +221,7 @@ def dm_pagerank(g: CSRGraph, rt: DMRuntime, variant: str = MP,
             mem.write(rank_h, start=int(vs[0]), count=len(vs))
             mem.flop(2 * len(vs))
 
+        rt.annotate("pr.finalize")
         rt.superstep(finalize)
         iteration_times.append(rt.time - t0)
 

@@ -198,14 +198,21 @@ def pagerank(g: CSRGraph, rt: SMRuntime, direction: str = PULL,
     for it in range(1, iterations + 1):
         t0 = rt.time
         if direction == PULL:
+            rt.annotate("pr.pull")
             rt.for_each_thread(pull_body)
         elif direction == PUSH:
+            rt.annotate("pr.zero")
             rt.for_each_thread(zero_body)
+            rt.annotate("pr.push")
             rt.for_each_thread(push_body)
         else:  # PUSH_PA, Algorithm 8: local phase | barrier | remote phase
+            rt.annotate("pr.zero")
             rt.for_each_thread(zero_body)
+            rt.annotate("pr.pa-local")
             rt.for_each_thread(pa_local_body)
+            rt.annotate("pr.pa-remote")
             rt.for_each_thread(pa_remote_body)
+        rt.annotate("pr.finalize")
         rt.for_each_thread(finalize_body)
         iteration_times.append(rt.time - t0)
         if tol is not None and deltas.sum() < tol:

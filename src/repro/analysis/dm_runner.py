@@ -126,9 +126,11 @@ def analyze_dm(n: int = 96, P: int = 4, seed: int = 7, d_bar: float = 4.0,
     """Run the DM matrix; returns one :class:`DMAnalysisRun` per cell.
 
     ``dataset`` follows :func:`repro.analysis.runner.instance_graph`:
-    ``"er"`` (default), ``"rmat"``, or ``"road"`` (the high-diameter
+    ``"er"`` (default), ``"rmat"``, ``"road"`` (the high-diameter
     regime -- many thin supersteps, so the epoch and cut bounds are
-    exercised across far more barriers per run).
+    exercised across far more barriers per run), or ``"comm"`` (the
+    communication-heavy regime -- planted hubs push most edges across
+    the partition cut, stressing the message/RMA epoch checks).
     """
     from repro.analysis.runner import instance_graph
     plain = instance_graph(dataset, n, d_bar, seed, weighted=False)

@@ -172,7 +172,10 @@ def analyze_faults(n: int = 64, P: int = 4, seed: int = 7,
     ``fault_seeds`` re-seed the *plans* (the instance stays fixed), so
     every plan's fault schedule is sampled more than once.  ``plans``
     defaults to :func:`default_fault_plans`; ``recovery`` defaults to
-    everything enabled.
+    everything enabled.  ``dataset`` follows
+    :func:`repro.analysis.runner.instance_graph` (``"er"``/``"rmat"``/
+    ``"road"``/``"comm"``); ``"comm"`` puts most traffic on the cut,
+    so dropped/duplicated messages hit the widest exchanges.
     """
     recovery = recovery if recovery is not None else RecoveryConfig()
     plain = instance_graph(dataset, n, d_bar, seed, weighted=False)

@@ -20,9 +20,14 @@ without running anything; four rules are enforced:
     assertion is the *pull* half of the contract; push code reaching it
     indicates a confused variant.
 ``ANL004`` (missing-barrier)
-    A function launches a region with ``barrier=False`` but never calls
-    ``.barrier()`` itself, so the region's accesses bleed into the next
-    epoch with no synchronization point.
+    A function launches a region with ``barrier=False`` but neither it
+    nor its callers close the epoch: the function never calls
+    ``.barrier()`` itself, and -- mirroring ANL005's one-level helper
+    expansion -- no module-local caller of the function issues one
+    either (the fused-phases idiom, where a helper runs several
+    barrier-less regions and the caller barriers once, is clean).  With
+    no barrier at either level the region's accesses bleed into the
+    next epoch with no synchronization point.
 ``ANL005`` (untyped-channel)
     A superstep body (the distributed-memory analogue of a parallel
     region) calls ``rt.send`` without ``tag=`` or a data-carrying RMA
@@ -284,12 +289,15 @@ class _ModuleIndex(ast.NodeVisitor):
         self.barrier_calls: dict[int, bool] = {}   # id(enclosing fn) -> True
         self.barrier_false: list[tuple] = []  # (call node, enclosing fn, chain)
         self.superstep_calls: list[tuple] = []  # (call, body_expr, chain, scopes)
+        self.all_funcs: list[ast.AST] = []    # every function def seen
+        self.calls_in: dict[int, set] = {}    # id(fn) -> local names it calls
 
     def _enclosing(self):
         return self.stack[-1][1] if self.stack else None
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self.scopes[-1][node.name] = node
+        self.all_funcs.append(node)
         self.defs_ctx[id(node)] = self.ctx_stack[-1]
         chain = (node.name,) + tuple(n for n, _ in reversed(self.stack))
         self.defs_chain[id(node)] = chain
@@ -326,6 +334,10 @@ class _ModuleIndex(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         f = node.func
+        if isinstance(f, ast.Name):
+            enc = self._enclosing()
+            if enc is not None:
+                self.calls_in.setdefault(id(enc), set()).add(f.id)
         if isinstance(f, ast.Attribute):
             if f.attr in REGION_METHODS:
                 pos = REGION_METHODS[f.attr]
@@ -390,15 +402,25 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
     index.visit(tree)
     findings: list[LintFinding] = []
 
-    # ANL004: barrier=False with no explicit barrier in the same function
+    # ANL004: barrier=False with no barrier in the same function AND
+    # none guaranteed by the callers (one-level caller expansion: a
+    # helper running barrier-less regions is clean when every
+    # module-local caller issues the closing .barrier() itself)
     for call, enclosing, chain in index.barrier_false:
-        if not index.barrier_calls.get(id(enclosing)):
-            func = ".".join(reversed(chain)) or "<module>"
-            findings.append(LintFinding(
-                "ANL004", path, call.lineno, func,
-                "region launched with barrier=False but the function "
-                "never calls .barrier(): accesses leak into the next "
-                "epoch unsynchronized"))
+        if index.barrier_calls.get(id(enclosing)):
+            continue
+        name = getattr(enclosing, "name", None)
+        callers = [g for g in index.all_funcs
+                   if g is not enclosing and name is not None
+                   and name in index.calls_in.get(id(g), ())]
+        if callers and all(index.barrier_calls.get(id(g)) for g in callers):
+            continue
+        func = ".".join(reversed(chain)) or "<module>"
+        findings.append(LintFinding(
+            "ANL004", path, call.lineno, func,
+            "region launched with barrier=False but neither the "
+            "function nor all of its callers call .barrier(): "
+            "accesses leak into the next epoch unsynchronized"))
 
     seen_bodies: set[int] = set()
     for call, body_expr, _enc, chain, scopes, call_ctx in index.region_calls:

@@ -23,7 +23,7 @@ from repro.algorithms.sssp_delta import sssp_delta
 from repro.algorithms.triangle import triangle_count
 from repro.analysis.crosscheck import CrossCheckResult, crosscheck
 from repro.analysis.race import RaceReport, attach_race_detector
-from repro.generators import erdos_renyi, rmat, road_network
+from repro.generators import community_graph, erdos_renyi, rmat, road_network
 from repro.graph.csr import CSRGraph
 from repro.machine.cost_model import XC30, MachineSpec
 from repro.machine.memory import CountingMemory
@@ -114,7 +114,10 @@ def instance_graph(dataset: str, n: int, d_bar: float, seed: int,
     ``"er"`` is Erdős–Rényi at exactly ``n``; ``"rmat"`` rounds up to the
     nearest power of two (skewed degrees); ``"road"`` is the sparsified
     lattice at ``ceil(sqrt(n))²`` vertices -- the high-diameter extreme
-    of Table 2, where traversal kernels run many thin supersteps.
+    of Table 2, where traversal kernels run many thin supersteps;
+    ``"comm"`` is the Chung-Lu community graph with planted hubs -- the
+    communication-heavy extreme, where cross-partition edges dominate
+    and push variants hammer remote accumulators.
     """
     import math
     if dataset == "er":
@@ -125,8 +128,12 @@ def instance_graph(dataset: str, n: int, d_bar: float, seed: int,
     if dataset == "road":
         side = max(3, math.ceil(math.sqrt(max(n, 1))))
         return road_network(side, side, seed=seed, weighted=weighted)
+    if dataset == "comm":
+        return community_graph(max(n, 16), d_bar=max(d_bar, 8.0), seed=seed,
+                               weighted=weighted)
     raise ValueError(
-        f"unknown dataset {dataset!r}; choose 'er', 'rmat', or 'road'")
+        f"unknown dataset {dataset!r}; choose 'er', 'rmat', 'road', "
+        "or 'comm'")
 
 
 def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
@@ -141,8 +148,10 @@ def analyze_algorithms(n: int = 120, P: int = 4, seed: int = 7,
 
     ``dataset`` selects the instance family: ``"er"`` (Erdős–Rényi, the
     default), ``"rmat"`` (the registry Kronecker/R-MAT generator at
-    ``scale = ceil(log2 n)`` -- skewed degrees at a small scale), or
-    ``"road"`` (sparsified lattice -- the high-diameter regime).
+    ``scale = ceil(log2 n)`` -- skewed degrees at a small scale),
+    ``"road"`` (sparsified lattice -- the high-diameter regime), or
+    ``"comm"`` (Chung-Lu community graph -- the communication-heavy
+    regime of cross-partition hub edges).
     """
     algos = tuple(algorithms) if algorithms else ALGORITHMS
     unknown = set(algos) - set(ALGORITHMS)

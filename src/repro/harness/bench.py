@@ -1,0 +1,72 @@
+"""The ``BENCH_trace.json`` perf baseline (schema ``repro-bench/1``).
+
+A deterministic small-graph sweep -- PR / BFS / SSSP x push / pull x
+SM / DM on one seeded ER instance -- each cell run under a tracer so
+the baseline records not just the end-to-end simulated time but the
+event totals and trace shape (regions / supersteps / barriers) per
+Table-1/Table-3 cell.  Everything is seeded and timestamps are
+simulated, so two sweeps produce byte-identical files; subsequent PRs
+diff against the committed baseline to see their perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: versioned schema tag of the baseline file
+BENCH_SCHEMA = "repro-bench/1"
+
+#: the sweep grid: (algorithm, variant) x (sm, dm)
+BENCH_ALGORITHMS = ("pagerank", "bfs", "sssp")
+BENCH_VARIANTS = ("push", "pull")
+
+#: one deterministic instance for every cell
+BENCH_CONFIG = {"dataset": "er", "n": 96, "P": 4, "seed": 7,
+                "iterations": 5}
+
+
+def bench_sweep() -> dict:
+    """Run the full grid; returns the baseline document."""
+    from repro.observability.driver import run_traced
+
+    cells = []
+    for algorithm in BENCH_ALGORITHMS:
+        for variant in BENCH_VARIANTS:
+            for runtime in ("sm", "dm"):
+                rt, tracer, resolved, _ = run_traced(
+                    algorithm, variant=variant, dm=(runtime == "dm"),
+                    dataset=BENCH_CONFIG["dataset"], n=BENCH_CONFIG["n"],
+                    P=BENCH_CONFIG["P"], seed=BENCH_CONFIG["seed"],
+                    iterations=BENCH_CONFIG["iterations"])
+                totals = tracer.traced_totals()
+                kinds: dict[str, int] = {}
+                for ev in tracer.events:
+                    kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+                cells.append({
+                    "algorithm": algorithm,
+                    "variant": variant,
+                    "resolved_variant": resolved,
+                    "runtime": runtime,
+                    "machine": getattr(rt.machine, "name", "?"),
+                    "time_mtu": rt.time,
+                    "counters": {k: v for k, v in totals.to_dict().items()
+                                 if v},
+                    "events": kinds,
+                })
+    return {"schema": BENCH_SCHEMA, "config": dict(BENCH_CONFIG),
+            "cells": cells}
+
+
+def write_bench(out: str) -> str:
+    """Write the baseline to ``out`` (a ``.json`` file, or a directory
+    that receives ``BENCH_trace.json``).  Returns the path written."""
+    path = out
+    if not out.endswith(".json"):
+        os.makedirs(out, exist_ok=True)
+        path = os.path.join(out, "BENCH_trace.json")
+    doc = bench_sweep()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, indent=1, allow_nan=False)
+        fh.write("\n")
+    return path

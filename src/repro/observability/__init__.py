@@ -1,0 +1,46 @@
+"""Unified trace/metrics layer for the SM and DM runtimes.
+
+The paper's performance study attributes cost to *phases* -- per-phase
+PAPI counter tables (Table 1), per-iteration direction decisions, and
+per-superstep communication volumes.  This package gives the simulated
+runtimes the same attribution surface:
+
+* :mod:`repro.observability.events` -- the typed event model and the
+  versioned JSONL schema.
+* :mod:`repro.observability.tracer` -- :class:`Tracer`, attached to an
+  :class:`~repro.runtime.sm.SMRuntime` or
+  :class:`~repro.runtime.dm.DMRuntime` via the ``rt.tracer`` hook (a
+  single ``is None`` check per hook site, like ``rt.observer`` and
+  ``rt.faults``); records parallel regions and supersteps with
+  per-thread/per-rank spans and :class:`PerfCounters` deltas, barriers
+  and recovery stalls, frontier evolution, push/pull switch decisions
+  with their operands, DM communication verbs, and fault/recovery
+  events.
+* :mod:`repro.observability.export` -- exporters: Chrome trace-event
+  JSON (``chrome://tracing`` / Perfetto, one lane per thread or rank),
+  a flat JSONL event log, and a metrics rollup (counter time-series per
+  region/superstep).
+* :mod:`repro.observability.driver` -- the ``python -m repro trace``
+  entry point: run one kernel under a tracer and write all exports.
+
+The package is import-light by design: nothing here imports the
+harness (charts, experiments) -- the :class:`~repro.runtime.profiler.
+Profile` view renders without pulling chart code unless asked to.
+"""
+
+from repro.observability.events import SCHEMA, TraceEvent
+from repro.observability.export import (
+    chrome_trace, metrics_rollup, to_jsonl_lines, write_outputs,
+)
+from repro.observability.tracer import Tracer, attach_tracer
+
+__all__ = [
+    "SCHEMA",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+    "chrome_trace",
+    "metrics_rollup",
+    "to_jsonl_lines",
+    "write_outputs",
+]

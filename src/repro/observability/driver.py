@@ -1,0 +1,122 @@
+"""The ``python -m repro trace`` entry point.
+
+Runs one kernel (pagerank / bfs / sssp) on a deterministic generated
+instance with a :class:`~repro.observability.tracer.Tracer` attached,
+optionally on the DM runtime and optionally under the default chaos
+fault plan, then writes all three exports into a directory::
+
+    python -m repro trace pagerank --variant push --out /tmp/t
+    python -m repro trace pagerank --variant push --dm --faults --out /tmp/t
+    python -m repro trace --bench --out BENCH_trace.json
+
+Everything is seeded, so two invocations with the same flags produce
+byte-identical ``events.jsonl`` / ``trace.json`` / ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+from repro.observability.export import write_outputs
+from repro.observability.tracer import attach_tracer
+
+#: kernels the trace driver knows how to launch
+TRACE_ALGORITHMS = ("pagerank", "bfs", "sssp")
+
+
+def default_fault_plan(seed: int = 1):
+    """The chaos plan ``--faults`` injects: every fault class enabled at
+    rates that make recovery events near-certain on a 5-iteration run."""
+    from repro.runtime.faults import FaultPlan
+    return FaultPlan(seed=seed, drop=0.15, duplicate=0.05, delay=0.05,
+                     rma_lost=0.2, rma_duplicate=0.1, straggler=0.1,
+                     crash=0.05)
+
+
+def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
+              iterations: int):
+    if algorithm == "pagerank":
+        if dm:
+            from repro.algorithms.dm_pagerank import dm_pagerank
+            resolved = {"push": "rma-push", "pull": "rma-pull"}.get(
+                variant, variant)
+            return resolved, dm_pagerank(g, rt, variant=resolved,
+                                         iterations=iterations)
+        from repro.algorithms.pagerank import pagerank
+        return variant, pagerank(g, rt, direction=variant,
+                                 iterations=iterations)
+    if algorithm == "bfs":
+        if dm:
+            from repro.algorithms.dm_bfs import dm_bfs
+            return variant, dm_bfs(g, rt, root=0, variant=variant)
+        if variant == "switching":
+            from repro.strategies.switching import direction_optimizing_bfs
+            return variant, direction_optimizing_bfs(g, rt, root=0)
+        from repro.algorithms.bfs import bfs
+        return variant, bfs(g, rt, root=0, direction=variant)
+    if algorithm == "sssp":
+        if dm:
+            from repro.algorithms.dm_sssp import dm_sssp_delta
+            return variant, dm_sssp_delta(g, rt, source=0, variant=variant)
+        from repro.algorithms.sssp_delta import sssp_delta
+        return variant, sssp_delta(g, rt, source=0, direction=variant)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; choose from {TRACE_ALGORITHMS}")
+
+
+def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
+               faults: bool = False, dataset: str = "er", n: int = 96,
+               P: int = 4, seed: int = 7, iterations: int = 5,
+               fault_seed: int = 1):
+    """Run one kernel under a fresh tracer.
+
+    Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
+    requires ``dm`` (the fault layer is a DM-runtime hook).
+    """
+    from repro.analysis.runner import instance_graph
+    if faults and not dm:
+        raise ValueError("--faults requires --dm (fault injection is a "
+                         "DM-runtime hook)")
+    g = instance_graph(dataset, n, d_bar=4.0, seed=seed,
+                       weighted=(algorithm == "sssp"))
+    if dm:
+        from repro.runtime.dm import DMRuntime
+        rt = DMRuntime(g.n, P)
+    else:
+        from repro.runtime.sm import SMRuntime
+        rt = SMRuntime(g, P)
+    tracer = attach_tracer(rt)
+    if faults:
+        from repro.runtime.faults import attach_fault_injector
+        attach_fault_injector(rt, default_fault_plan(fault_seed))
+    resolved, result = _dispatch(algorithm, variant, g, rt, dm, iterations)
+    return rt, tracer, resolved, result
+
+
+def trace_main(args) -> int:
+    """Back the ``repro trace`` CLI subcommand; returns an exit code."""
+    if args.bench:
+        from repro.harness.bench import write_bench
+        path = write_bench(args.out)
+        print(f"wrote perf baseline: {path}")
+        return 0
+    if args.algorithm is None:
+        print("error: an algorithm is required unless --bench is given")
+        return 2
+    rt, tracer, resolved, _result = run_traced(
+        args.algorithm, variant=args.variant, dm=args.dm, faults=args.faults,
+        dataset=args.dataset, n=args.scale, P=args.procs, seed=args.seed,
+        iterations=args.iterations, fault_seed=args.fault_seed)
+    paths = write_outputs(tracer, args.out)
+    kinds: dict[str, int] = {}
+    for ev in tracer.events:
+        kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+    runtime = "dm" if args.dm else "sm"
+    print(f"traced {args.algorithm}/{resolved} [{runtime}] on "
+          f"{args.dataset} n={args.scale} P={args.procs}: "
+          f"{len(tracer.events)} events, {rt.time:,.0f} mtu")
+    print("  " + "  ".join(f"{k}={kinds[k]}" for k in sorted(kinds)))
+    traced, actual = tracer.reconcile()
+    status = "ok" if traced.to_dict() == actual.to_dict() else "MISMATCH"
+    print(f"  counter reconciliation: {status}")
+    for key in ("jsonl", "chrome", "metrics"):
+        print(f"  {key}: {paths[key]}")
+    return 0 if status == "ok" else 1

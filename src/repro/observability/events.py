@@ -1,0 +1,93 @@
+"""The typed trace-event model and its versioned schema.
+
+Every record a :class:`~repro.observability.tracer.Tracer` emits is one
+:class:`TraceEvent`.  Timestamps are **simulated** machine time units
+(mtu) -- the same clock as ``rt.time`` -- so traces are bit-identical
+across runs of the same (kernel, graph, config, fault plan) and carry
+no wall-clock noise.
+
+Event kinds
+-----------
+``region``
+    One SM parallel region (or ``sequential`` phase).  ``lane`` is
+    ``None`` (the per-thread expansion lives in ``data["spans"]``);
+    ``dur`` is the region's simulated span under the core/SMT
+    topology.  ``data``: ``index``, ``spans`` (per-thread mtu),
+    ``deltas`` (per-thread nonzero :class:`PerfCounters` fields),
+    ``sizes`` (items per thread, when launched via ``parallel_for``),
+    ``sequential`` (bool).
+``superstep``
+    One DM superstep.  ``data``: ``index``, ``spans`` (per-rank mtu
+    after straggler stretch), ``deltas`` (per-rank counter deltas,
+    including any recovery work charged inside the boundary), and
+    ``stall`` (the barrier-level recovery wait).
+``barrier``
+    A barrier episode; ``dur`` is ``w_barrier``; ``data["barriers"]``
+    is the number of per-thread barrier counter increments (= P).
+``stall``
+    Recovery wait gating a superstep's barrier (retry backoff,
+    redelivery, restart timeouts); strictly-additive time.
+``frontier``
+    Frontier evolution of a traversal: ``data`` has ``iteration``,
+    ``size``, ``density`` (size / n), and ``edges`` when the caller
+    measured the frontier's out-edges.
+``switch``
+    A push<->pull direction decision, with the operand values that
+    produced it (``data``: ``iteration``, ``previous``, ``chosen``,
+    plus the policy operands, e.g. ``frontier_edges``,
+    ``unexplored_edges``, ``frontier_size``, ``n``).
+``schedule``
+    A loop-scheduling decision: ``data`` has ``policy`` (static /
+    dynamic / by-owner), ``items``, ``chunk``, and per-thread
+    ``sizes``.
+``send`` / ``inbox`` / ``rma`` / ``flush``
+    DM communication verbs, on the issuing rank's lane; ``data``
+    carries destination/tag/window/dtype/op counts as applicable.
+``fault`` / ``recovery``
+    Injected fault events and the paired recovery actions from
+    :mod:`repro.runtime.faults`; ``label`` is the fault-schedule kind
+    (``drop``, ``retry``, ``crash``, ``restart``, ``rma-replay``, ...)
+    and ``lane`` the affected rank where attributable.
+
+The JSONL export writes a header line ``{"schema": SCHEMA, ...}``
+followed by one event object per line; consumers must check the
+schema string before parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: versioned schema tag written in the JSONL header line
+SCHEMA = "repro-trace/1"
+
+#: fault-injector schedule kinds that are *recovery* actions (the rest
+#: are injected faults)
+RECOVERY_KINDS = frozenset({
+    "retry", "retry-a2a", "rma-replay", "restart", "deliver-late",
+})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed, simulated-time-stamped trace record."""
+
+    seq: int                  #: emission index (total order of the run)
+    kind: str                 #: event kind (see module docstring)
+    ts: float                 #: simulated start time (mtu)
+    dur: float = 0.0          #: simulated duration (0 = instant)
+    lane: int | None = None   #: thread/rank lane; None = runtime-global
+    label: str = ""           #: human-readable name (region label, verb...)
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat dict for the JSONL export (stable key set)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "ts": self.ts,
+            "dur": self.dur,
+            "lane": self.lane,
+            "label": self.label,
+            "data": self.data,
+        }

@@ -1,0 +1,164 @@
+"""Exporters for recorded traces.
+
+Three views over the same event list, all deterministic (simulated
+timestamps, sorted JSON keys, compact separators -- two runs with the
+same seed/config produce byte-identical files):
+
+* :func:`to_jsonl_lines` -- flat JSONL: a ``{"schema": ...}`` header
+  line, then one event object per line (the archival format; schema
+  ``repro-trace/1``).
+* :func:`chrome_trace` -- Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto: one lane (tid) per simulated thread
+  or rank plus a ``runtime`` lane for global events; regions and
+  supersteps become matched ``B``/``E`` duration pairs, communication
+  and fault events become instants on the issuing rank's lane, frontier
+  sizes become a counter track.  1 mtu is rendered as 1 µs.
+* :func:`metrics_rollup` -- counter time-series per region/superstep
+  plus run totals (schema ``repro-metrics/1``).
+
+:func:`write_outputs` writes all three into a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.observability.events import SCHEMA
+
+#: versioned schema tag for the metrics rollup
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: event kinds rendered as B/E duration pairs on the runtime lane
+_GLOBAL_SPANS = ("barrier", "stall")
+
+#: event kinds rendered as instants on their lane
+_INSTANTS = ("send", "inbox", "rma", "flush", "fault", "recovery",
+             "switch", "schedule")
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False, default=_jsonable)
+
+
+def _jsonable(o):
+    # numpy scalars leak into event data from kernel code; coerce them
+    # so the export never depends on numpy repr
+    if hasattr(o, "item"):
+        return o.item()
+    return str(o)
+
+
+def to_jsonl_lines(tracer) -> list[str]:
+    """Header line + one compact JSON object per event."""
+    return [_dumps(tracer.meta())] + [_dumps(ev.to_dict())
+                                      for ev in tracer.events]
+
+
+def chrome_trace(tracer) -> dict:
+    """Chrome trace-event JSON (loadable in Perfetto).
+
+    Lanes: tid ``0..P-1`` are the simulated threads/ranks, tid ``P`` is
+    the ``runtime`` lane (barriers, stalls, switch/schedule decisions,
+    unattributable fault events).  Every duration event is an explicit
+    ``B``/``E`` pair with ``E.ts >= B.ts`` on the same lane.
+    """
+    P = tracer.rt.P
+    meta = tracer.meta()
+    lane_noun = "rank" if tracer.is_dm else "thread"
+    out = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": f"repro {meta['runtime']} ({meta['machine']})"}},
+    ]
+    for t in range(P):
+        out.append({"ph": "M", "pid": 0, "tid": t, "name": "thread_name",
+                    "args": {"name": f"{lane_noun} {t}"}})
+    out.append({"ph": "M", "pid": 0, "tid": P, "name": "thread_name",
+                "args": {"name": "runtime"}})
+
+    def span(name, ts, dur, tid, args=None):
+        out.append({"ph": "B", "pid": 0, "tid": tid, "ts": ts,
+                    "name": name, "args": args or {}})
+        out.append({"ph": "E", "pid": 0, "tid": tid, "ts": ts + dur,
+                    "name": name})
+
+    for ev in tracer.events:
+        if ev.kind in ("region", "superstep"):
+            spans = ev.data["spans"]
+            deltas = ev.data["deltas"]
+            sizes = ev.data.get("sizes")
+            for t, s in enumerate(spans):
+                args = {"delta": deltas[t]} if t < len(deltas) else {}
+                if sizes is not None and t < len(sizes):
+                    args["items"] = sizes[t]
+                span(ev.label, ev.ts, s, t, args)
+            span(ev.label, ev.ts, ev.dur, P,
+                 {"index": ev.data["index"], "kind": ev.kind})
+        elif ev.kind in _GLOBAL_SPANS:
+            span(ev.label, ev.ts, ev.dur, P, dict(ev.data))
+        elif ev.kind == "frontier":
+            out.append({"ph": "C", "pid": 0, "tid": P, "ts": ev.ts,
+                        "name": "frontier-size",
+                        "args": {"size": ev.data["size"]}})
+        elif ev.kind in _INSTANTS:
+            tid = ev.lane if ev.lane is not None else P
+            name = ev.label if ev.kind in ("switch", "schedule") \
+                else f"{ev.kind}:{ev.label}"
+            out.append({"ph": "i", "s": "t", "pid": 0, "tid": tid,
+                        "ts": ev.ts, "name": name, "args": dict(ev.data)})
+    return {"displayTimeUnit": "ms", "traceEvents": out,
+            "otherData": meta}
+
+
+def metrics_rollup(tracer) -> dict:
+    """Counter time-series per region/superstep, plus run totals."""
+    steps = []
+    frontier = []
+    for ev in tracer.events:
+        if ev.kind in ("region", "superstep"):
+            counters: dict[str, float] = {}
+            for d in ev.data["deltas"]:
+                for k, v in d.items():
+                    counters[k] = counters.get(k, 0) + v
+            steps.append({"index": ev.data["index"], "kind": ev.kind,
+                          "label": ev.label, "ts": ev.ts, "time": ev.dur,
+                          "counters": counters})
+        elif ev.kind == "frontier":
+            frontier.append(dict(ev.data))
+    names = sorted({k for s in steps for k in s["counters"]})
+    series = {k: [s["counters"].get(k, 0) for s in steps] for k in names}
+    traced = tracer.traced_totals()
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": tracer.meta(),
+        "time_mtu": tracer.rt.time - tracer.start_time,
+        "steps": steps,
+        "series": series,
+        "frontier": frontier,
+        "totals": {k: v for k, v in traced.to_dict().items() if v},
+    }
+
+
+def write_outputs(tracer, outdir: str) -> dict:
+    """Write ``events.jsonl``, ``trace.json``, ``metrics.json``.
+
+    Returns ``{"jsonl": path, "chrome": path, "metrics": path}``.
+    """
+    os.makedirs(outdir, exist_ok=True)
+    paths = {
+        "jsonl": os.path.join(outdir, "events.jsonl"),
+        "chrome": os.path.join(outdir, "trace.json"),
+        "metrics": os.path.join(outdir, "metrics.json"),
+    }
+    with open(paths["jsonl"], "w") as fh:
+        fh.write("\n".join(to_jsonl_lines(tracer)) + "\n")
+    with open(paths["chrome"], "w") as fh:
+        fh.write(_dumps(chrome_trace(tracer)) + "\n")
+    with open(paths["metrics"], "w") as fh:
+        fh.write(_dumps(metrics_rollup(tracer)) + "\n")
+    return paths
+
+
+__all__ = ["METRICS_SCHEMA", "SCHEMA", "chrome_trace", "metrics_rollup",
+           "to_jsonl_lines", "write_outputs"]

@@ -1,0 +1,255 @@
+"""The :class:`Tracer`: structured event recording for both runtimes.
+
+Attachment follows the repo's hook convention (``rt.observer`` for the
+epoch checker, ``rt.faults`` for the injector): ``attach_tracer(rt)``
+installs the tracer as ``rt.tracer`` and every hook site in the
+runtimes is a single ``is None`` check, so an untraced run pays
+nothing and a traced run's *simulated* time and counters are identical
+to an untraced one -- tracing only ever reads the machine state.
+
+What lands in the trace:
+
+* every SM parallel region / DM superstep, with per-thread (per-rank)
+  simulated spans **and** :class:`PerfCounters` deltas -- the deltas
+  are measured by snapshotting each lane's counter block around the
+  body, so summing all region/superstep deltas plus the barrier events
+  reconciles *exactly* with the run-level counter totals
+  (:meth:`Tracer.reconcile`);
+* barriers, and the recovery stalls the fault layer charges to them;
+* frontier sizes/densities and push<->pull switch decisions with the
+  operand values that triggered them (traversal kernels report these
+  through the duck-typed ``rt.tracer`` attribute -- no import needed);
+* loop-schedule decisions (policy + per-thread chunk sizes);
+* DM sends, inbox reads, RMA verbs, flushes -- on the issuing rank's
+  lane, timestamped by that rank's progress within the superstep;
+* fault-injection and recovery events from
+  :mod:`repro.runtime.faults` (drop/retry/rollback/restart/...), on
+  the affected rank's lane.
+
+All timestamps are simulated mtu, so traces are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.machine.counters import PerfCounters
+from repro.observability.events import RECOVERY_KINDS, SCHEMA, TraceEvent
+
+
+def _nonzero(c: PerfCounters) -> dict:
+    """Compact counter-delta dict (nonzero fields only)."""
+    return {k: v for k, v in c.to_dict().items() if v}
+
+
+class Tracer:
+    """Records typed events from one runtime; see the module docstring.
+
+    The tracer never mutates runtime state; it is re-armed by
+    ``rt.reset()`` (events cleared, counter baseline re-snapshotted) so
+    a reused runtime produces a fresh, reconcilable trace per run.
+    """
+
+    def __init__(self, rt) -> None:
+        self.rt = rt
+        self.is_dm = hasattr(rt, "superstep")
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+        self.n_regions = 0
+        self.start_time = rt.time
+        self.start_counters = rt.total_counters()
+        # superstep context (DM): start time + per-rank progress baselines
+        self._ss_t0: float = rt.time
+        self._ss_befores: list[float] = []
+        self._ss_snaps: list[PerfCounters] = []
+
+    # -- bookkeeping ---------------------------------------------------------------
+    def meta(self) -> dict:
+        """Header fields for the exporters."""
+        return {
+            "schema": SCHEMA,
+            "runtime": "dm" if self.is_dm else "sm",
+            "P": self.rt.P,
+            "machine": getattr(self.rt.machine, "name", "?"),
+            "clock": "simulated-mtu",
+        }
+
+    def on_reset(self) -> None:
+        """Re-arm for a fresh run (called by ``rt.reset()``)."""
+        self.events = []
+        self._seq = 0
+        self.n_regions = 0
+        self.start_time = self.rt.time
+        self.start_counters = self.rt.total_counters()
+        self._ss_befores = []
+        self._ss_snaps = []
+
+    def _emit(self, kind: str, ts: float, dur: float = 0.0,
+              lane: int | None = None, label: str = "",
+              data: dict | None = None) -> None:
+        self.events.append(TraceEvent(
+            seq=self._seq, kind=kind, ts=float(ts), dur=float(dur),
+            lane=lane, label=label, data=data or {}))
+        self._seq += 1
+
+    def _lanes(self) -> list[float]:
+        """Per-rank progress (mtu) within the open superstep."""
+        m = self.rt.machine
+        return [m.time(c) - b for c, b
+                in zip(self.rt.proc_counters, self._ss_befores)]
+
+    def _now(self, lane: int | None) -> float:
+        """Simulated timestamp for an instant event on ``lane``."""
+        if lane is None or not self._ss_befores:
+            return self.rt.time
+        return self._ss_t0 + max(0.0, self._lanes()[lane])
+
+    # -- shared-memory hooks ---------------------------------------------------------
+    def on_region(self, label: str, start: float, span: float,
+                  spans: list[float], deltas: list[PerfCounters],
+                  sizes: list[int] | None = None,
+                  sequential: bool = False) -> None:
+        index = self.n_regions
+        self.n_regions += 1
+        if sequential:
+            label = (label or "sequential") + " [seq]"
+        else:
+            label = label or f"region-{index}"
+        data = {
+            "index": index,
+            "spans": [float(s) for s in spans],
+            "deltas": [_nonzero(d) for d in deltas],
+            "sequential": sequential,
+        }
+        if sizes is not None:
+            data["sizes"] = [int(s) for s in sizes]
+        self._emit("region", ts=start, dur=span, label=label, data=data)
+
+    def on_barrier(self, ts: float) -> None:
+        self._emit("barrier", ts=ts, dur=self.rt.machine.w_barrier,
+                   label="barrier", data={"barriers": self.rt.P})
+
+    def on_schedule(self, policy: str, items: int, sizes: list[int],
+                    chunk: int | None) -> None:
+        self._emit("schedule", ts=self.rt.time, label=policy,
+                   data={"policy": policy, "items": int(items),
+                         "chunk": chunk, "sizes": [int(s) for s in sizes]})
+
+    # -- traversal attribution (duck-typed: kernels call through rt.tracer) ------------
+    def on_frontier(self, iteration: int, size: int, n: int,
+                    edges: int | None = None) -> None:
+        data = {"iteration": int(iteration), "size": int(size),
+                "density": (float(size) / n) if n else 0.0}
+        if edges is not None:
+            data["edges"] = int(edges)
+        self._emit("frontier", ts=self.rt.time, label="frontier", data=data)
+
+    def on_switch(self, iteration: int, previous: str, chosen: str,
+                  operands: dict) -> None:
+        data = {"iteration": int(iteration), "previous": previous,
+                "chosen": chosen}
+        data.update({k: (int(v) if isinstance(v, (int, bool)) else v)
+                     for k, v in operands.items()})
+        self._emit("switch", ts=self.rt.time,
+                   label=f"{previous}->{chosen}", data=data)
+
+    # -- distributed-memory hooks -------------------------------------------------------
+    def on_superstep_begin(self, index: int) -> None:
+        rt = self.rt
+        self._ss_t0 = rt.time
+        self._ss_befores = [rt.machine.time(c) for c in rt.proc_counters]
+        self._ss_snaps = [c.copy() for c in rt.proc_counters]
+
+    def on_superstep_end(self, index: int, spans: list[float],
+                         stall: float) -> None:
+        rt = self.rt
+        deltas = [c - s for c, s in zip(rt.proc_counters, self._ss_snaps)]
+        span = max(spans) if spans else 0.0
+        label = getattr(rt, "_label", "") or f"superstep-{index}"
+        self._emit("superstep", ts=self._ss_t0, dur=span, label=label,
+                   data={"index": int(index),
+                         "spans": [float(s) for s in spans],
+                         "deltas": [_nonzero(d) for d in deltas],
+                         "stall": float(stall)})
+        t = self._ss_t0 + span
+        if stall > 0:
+            self._emit("stall", ts=t, dur=stall, label="recovery-stall",
+                       data={"index": int(index)})
+            t += stall
+        self._emit("barrier", ts=t, dur=rt.machine.w_barrier,
+                   label="barrier", data={"barriers": rt.P})
+        self._ss_befores = []
+        self._ss_snaps = []
+
+    def on_send(self, rank: int, dest: int, tag, nbytes: int) -> None:
+        self._emit("send", ts=self._now(rank), lane=rank, label="send",
+                   data={"dest": int(dest), "tag": _plain(tag),
+                         "nbytes": int(nbytes)})
+
+    def on_inbox(self, rank: int, tag, count: int) -> None:
+        self._emit("inbox", ts=self._now(rank), lane=rank, label="inbox",
+                   data={"tag": _plain(tag), "messages": int(count)})
+
+    def on_rma(self, verb: str, rank: int, owner: int, window,
+               nitems: int, dtype: str | None) -> None:
+        self._emit("rma", ts=self._now(rank), lane=rank, label=verb,
+                   data={"owner": int(owner), "window": _window_name(window),
+                         "items": int(nitems), "dtype": dtype})
+
+    def on_flush(self, rank: int, owner: int | None) -> None:
+        self._emit("flush", ts=self._now(rank), lane=rank, label="flush",
+                   data={"owner": None if owner is None else int(owner)})
+
+    # -- fault-injection / recovery hooks -----------------------------------------------
+    def on_fault(self, kind: str, detail: tuple, superstep: int) -> None:
+        lane = detail[0] if detail and isinstance(detail[0], int) else None
+        self._emit("recovery" if kind in RECOVERY_KINDS else "fault",
+                   ts=self._now(lane), lane=lane, label=kind,
+                   data={"superstep": int(superstep),
+                         "detail": [_plain(d) for d in detail]})
+
+    # -- reconciliation ------------------------------------------------------------------
+    def traced_totals(self) -> PerfCounters:
+        """Sum of every recorded counter delta (regions/supersteps +
+        barrier episodes) -- must equal the run-level totals."""
+        acc = PerfCounters()
+        for ev in self.events:
+            if ev.kind in ("region", "superstep"):
+                for d in ev.data["deltas"]:
+                    for k, v in d.items():
+                        setattr(acc, k, getattr(acc, k) + v)
+            elif ev.kind == "barrier":
+                acc.barriers += ev.data["barriers"]
+        return acc
+
+    def reconcile(self) -> tuple[PerfCounters, PerfCounters]:
+        """(traced, actual) counter totals since attach/reset.
+
+        ``traced == actual`` iff every counted event of the run happened
+        inside a traced region/superstep or barrier -- the invariant the
+        instrumented kernels maintain.
+        """
+        return self.traced_totals(), self.rt.total_counters() - self.start_counters
+
+
+def _plain(v):
+    """JSON-safe scalar for tags/payload details."""
+    if v is None or isinstance(v, (bool, int, float, str)):
+        return v
+    return str(v)
+
+
+def _window_name(window) -> str | None:
+    if window is None:
+        return None
+    return str(getattr(window, "name", window))
+
+
+def attach_tracer(rt) -> Tracer:
+    """Install a :class:`Tracer` as ``rt.tracer`` and return it.
+
+    Composes with ``attach_dm_race_detector`` and
+    ``attach_fault_injector`` in any order (each occupies its own
+    hook).  Re-attaching replaces the previous tracer.
+    """
+    tracer = Tracer(rt)
+    rt.tracer = tracer
+    return tracer

@@ -95,6 +95,9 @@ class DMRuntime:
         self.observer = None
         #: fault-injection hook (see repro.runtime.faults); None = lossless
         self.faults = None
+        #: observability hook (repro.observability.attach_tracer)
+        self.tracer = None
+        self._label = ""
         self._rank: int | None = None
         # mailboxes[dest] = list of (source, payload, tag, nbytes, seq)
         # delivered next superstep (tag stays at index 2 -- the epoch
@@ -118,6 +121,10 @@ class DMRuntime:
     def total_counters(self) -> PerfCounters:
         return PerfCounters.total(self.proc_counters)
 
+    def annotate(self, label: str) -> None:
+        """Label subsequent supersteps in the trace (sticky)."""
+        self._label = label
+
     def reset(self) -> None:
         """Clear counters, time, and mailboxes between runs.
 
@@ -139,6 +146,8 @@ class DMRuntime:
         self._next_seq = 0
         if self.faults is not None:
             self.faults.reset()
+        if self.tracer is not None:
+            self.tracer.on_reset()
         self.mem.set_counters(self.proc_counters[0])
 
     def _activate(self, p: int) -> None:
@@ -176,6 +185,11 @@ class DMRuntime:
         timeout.  The failed attempt's counters stay: that work was done
         and lost, and it is exactly the overhead BSP time must show.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            # before the fault draw, so straggler/crash events already
+            # have this superstep's time base
+            tracer.on_superstep_begin(self.superstep_index)
         if self.observer is not None:
             self.observer.on_superstep_begin(self.superstep_index)
         faults = self.faults
@@ -190,15 +204,19 @@ class DMRuntime:
         self._rank = None
         if faults is not None:
             faults.boundary()
-        span = 0.0
+        spans = []
         for p in range(self.P):
             s = self.machine.time(self.proc_counters[p]) - befores[p]
             if faults is not None:
                 s = s * faults.straggler_factor(p)
-            span = max(span, s)
-        if faults is not None:
-            span += faults.consume_stall()
-        self.time += span + self.machine.w_barrier
+            spans.append(s)
+        span = max(spans) if spans else 0.0
+        stall = faults.consume_stall() if faults is not None else 0.0
+        if tracer is not None:
+            # before the barrier increments, so superstep counter deltas
+            # and the barrier event partition the totals exactly
+            tracer.on_superstep_end(self.superstep_index, spans, stall)
+        self.time += span + stall + self.machine.w_barrier
         for c in self.proc_counters:
             c.barriers += 1
         # deliver in-flight messages
@@ -243,6 +261,8 @@ class DMRuntime:
         c.msg_bytes += nb
         if self.observer is not None:
             self.observer.on_send(self.rank, dest, tag)
+        if self.tracer is not None:
+            self.tracer.on_send(self.rank, dest, tag, nb)
         self._in_flight[dest].append((self.rank, payload, tag, nb,
                                       self._next_seq))
         self._next_seq += 1
@@ -262,6 +282,8 @@ class DMRuntime:
             msgs = [m for m in box if m[2] == tag]
             keep = [m for m in box if m[2] != tag]
         self._mailboxes[self.rank] = keep
+        if self.tracer is not None:
+            self.tracer.on_inbox(self.rank, tag, len(msgs))
         # receive cost: latency per message is paid by the receiver too
         self.proc_counters[self.rank].messages += 0  # latency counted at sender
         return [(m[0], m[1]) for m in msgs]
@@ -303,6 +325,8 @@ class DMRuntime:
         if self.observer is not None:
             self.observer.on_rma("get", self.rank, owner, window, idx, None)
         self._remote_op(owner, "remote_gets", nitems * itemsize, op_count=ops)
+        if self.tracer is not None:
+            self.tracer.on_rma("get", self.rank, owner, window, nitems, None)
 
     def rma_put(self, owner: int, nitems: int, itemsize: int = 8,
                 ops: int = 1, window=None, idx=None) -> None:
@@ -310,6 +334,8 @@ class DMRuntime:
             self.observer.on_rma("put", self.rank, owner, window, idx, None)
         self._remote_op(owner, "remote_puts", nitems * itemsize, op_count=ops,
                         local_kind="write")
+        if self.tracer is not None:
+            self.tracer.on_rma("put", self.rank, owner, window, nitems, None)
 
     def rma_accumulate(self, owner: int, nitems: int, dtype: str = "float",
                        itemsize: int = 8, window=None, idx=None) -> None:
@@ -325,12 +351,16 @@ class DMRuntime:
         attr = "remote_acc_float" if dtype == "float" else "remote_acc_int"
         self._remote_op(owner, attr, nitems * itemsize, op_count=nitems,
                         local_kind="faa" if dtype != "float" else "cas")
+        if self.tracer is not None:
+            self.tracer.on_rma("acc", self.rank, owner, window, nitems, dtype)
 
     def rma_flush(self, owner: int | None = None) -> None:
         """Complete this process's outstanding staged puts/accumulates."""
         self.proc_counters[self.rank].flushes += 1
         if self.observer is not None:
             self.observer.on_flush(self.rank, owner)
+        if self.tracer is not None:
+            self.tracer.on_flush(self.rank, owner)
         self._complete_staged(self.rank, owner)
 
     # -- data-carrying RMA (window registry + staged completion) -----------------------
@@ -359,6 +389,8 @@ class DMRuntime:
             self.observer.on_rma("put", self.rank, owner, window, idx, None)
         self._remote_op(owner, "remote_puts", op_count * itemsize,
                         op_count=op_count, local_kind="write")
+        if self.tracer is not None:
+            self.tracer.on_rma("put", self.rank, owner, window, op_count, None)
         self._stage_or_apply("put", owner, window, idx, vals, None,
                              op_count, op_count * itemsize)
 
@@ -384,6 +416,8 @@ class DMRuntime:
         attr = "remote_acc_float" if dtype == "float" else "remote_acc_int"
         self._remote_op(owner, attr, op_count * itemsize, op_count=op_count,
                         local_kind="faa" if dtype != "float" else "cas")
+        if self.tracer is not None:
+            self.tracer.on_rma("acc", self.rank, owner, window, op_count, dtype)
         self._stage_or_apply("acc", owner, window, idx, vals, dtype,
                              op_count, op_count * itemsize)
 

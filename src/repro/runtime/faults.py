@@ -201,6 +201,9 @@ class FaultInjector:
 
     def _event(self, kind: str, *detail) -> None:
         self.schedule.append((self.rt.superstep_index, kind, *detail))
+        tracer = getattr(self.rt, "tracer", None)
+        if tracer is not None:
+            tracer.on_fault(kind, detail, self.rt.superstep_index)
 
     @property
     def dedup(self) -> bool:

@@ -1,19 +1,24 @@
-"""Region-level profiling for the simulated shared-memory runtime.
+"""Region-level profiling as a *view* over the trace layer.
 
-Wraps an :class:`~repro.runtime.sm.SMRuntime` so every parallel region
-is recorded: label (caller-supplied or auto-numbered), simulated span,
-per-thread spans (for imbalance), and the dominant event of the region.
-The report renders the top regions with load-imbalance factors --
-the tool one reaches for when a push variant is slower than expected
-and the question is *which phase* and *which thread*.
+Historically ``ProfiledRuntime`` re-implemented ``_region`` to record
+spans; it is now a thin :class:`~repro.runtime.sm.SMRuntime` that
+attaches a :class:`~repro.observability.tracer.Tracer` at construction
+and projects the region events into the familiar
+:class:`Profile`/:class:`RegionRecord` report -- label (caller-supplied
+via ``annotate`` or auto-numbered), simulated span, per-thread spans
+(for imbalance).  The tracer is the single source of truth; anything
+the profile shows is also in the JSONL/Chrome exports.
+
+This module stays import-light: the chart renderer is loaded lazily
+inside :meth:`Profile.render`, so tracing/JSONL-only consumers never
+pull the harness in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-
-from repro.harness.charts import bar_chart
+from repro.observability.tracer import attach_tracer
 from repro.runtime.sm import SMRuntime
 
 
@@ -37,6 +42,15 @@ class RegionRecord:
 class Profile:
     records: list = field(default_factory=list)
 
+    @classmethod
+    def from_trace(cls, events) -> "Profile":
+        """Project a tracer's event list onto region records."""
+        return cls([
+            RegionRecord(index=ev.data["index"], label=ev.label,
+                         span=ev.dur, thread_spans=list(ev.data["spans"]))
+            for ev in events if ev.kind == "region"
+        ])
+
     @property
     def total(self) -> float:
         return sum(r.span for r in self.records)
@@ -51,6 +65,9 @@ class Profile:
         return dict(sorted(agg.items(), key=lambda kv: -kv[1]))
 
     def render(self, k: int = 10) -> str:
+        # lazy: rendering is the only place the harness chart code is
+        # needed, and JSONL-only trace consumers must not import it
+        from repro.harness.charts import bar_chart
         lines = [f"profile: {len(self.records)} regions, "
                  f"{self.total:,.0f} mtu total"]
         agg = self.by_label()
@@ -64,52 +81,18 @@ class Profile:
 
 
 class ProfiledRuntime(SMRuntime):
-    """An SMRuntime that records every region into a :class:`Profile`.
+    """An SMRuntime with a tracer pre-attached and a profile view.
 
-    Use :meth:`annotate` to label the regions an algorithm is about to
-    run (labels stick until changed); unlabeled regions are numbered.
+    Use :meth:`~repro.runtime.sm.SMRuntime.annotate` to label the
+    regions an algorithm is about to run (labels stick until changed);
+    unlabeled regions are numbered.  The full event stream stays
+    available as ``rt.tracer`` for the exporters.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.profile = Profile()
-        self._label = ""
+        attach_tracer(self)
 
-    def annotate(self, label: str) -> "ProfiledRuntime":
-        self._label = label
-        return self
-
-    def _region(self, chunks, body, barrier) -> None:
-        spans = []
-        for t, chunk in enumerate(chunks):
-            self._activate(t)
-            before = self.machine.time(self.thread_counters[t])
-            body(t, chunk)
-            spans.append(self.machine.time(self.thread_counters[t]) - before)
-        span = self._region_span(spans)
-        self.time += span
-        self.profile.records.append(RegionRecord(
-            index=len(self.profile.records),
-            label=self._label or f"region-{len(self.profile.records)}",
-            span=span,
-            thread_spans=spans,
-        ))
-        if barrier:
-            self.barrier()
-
-    def sequential(self, body, thread: int = 0, barrier: bool = True) -> None:
-        self._activate(thread)
-        before = self.machine.time(self.thread_counters[thread])
-        body()
-        span = self.machine.time(self.thread_counters[thread]) - before
-        self.time += span
-        spans = [0.0] * self.P
-        spans[thread] = span
-        self.profile.records.append(RegionRecord(
-            index=len(self.profile.records),
-            label=(self._label or "sequential") + " [seq]",
-            span=span,
-            thread_spans=spans,
-        ))
-        if barrier:
-            self.barrier()
+    @property
+    def profile(self) -> Profile:
+        return Profile.from_trace(self.tracer.events)

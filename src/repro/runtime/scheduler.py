@@ -40,10 +40,20 @@ def dynamic_chunks(items: np.ndarray, P: int, chunk: int = 64) -> list[np.ndarra
 
 
 def assign(items: np.ndarray, P: int, schedule: str = "static",
-           chunk: int = 64) -> list[np.ndarray]:
-    """Dispatch to the named schedule ('static' or 'dynamic')."""
+           chunk: int = 64, tracer=None) -> list[np.ndarray]:
+    """Dispatch to the named schedule ('static' or 'dynamic').
+
+    When a tracer is attached the decision (policy, item count, chunk
+    size, per-thread assignment sizes) is recorded as a ``schedule``
+    event so imbalance can be attributed to the policy that caused it.
+    """
     if schedule == "static":
-        return static_chunks(items, P)
-    if schedule == "dynamic":
-        return dynamic_chunks(items, P, chunk)
-    raise ValueError(f"unknown schedule {schedule!r}")
+        chunks = static_chunks(items, P)
+    elif schedule == "dynamic":
+        chunks = dynamic_chunks(items, P, chunk)
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if tracer is not None:
+        tracer.on_schedule(schedule, len(items), [len(c) for c in chunks],
+                           chunk if schedule == "dynamic" else None)
+    return chunks

@@ -72,6 +72,9 @@ class SMRuntime:
         self.time = 0.0              #: accumulated simulated time (mtu)
         self.region_count = 0
         self._active_thread: int | None = None
+        #: observability hook (repro.observability.attach_tracer)
+        self.tracer = None
+        self._label = ""
         self.mem.set_counters(self.thread_counters[0])
 
     # -- bookkeeping -------------------------------------------------------------
@@ -80,6 +83,10 @@ class SMRuntime:
 
     def total_counters(self) -> PerfCounters:
         return PerfCounters.total(self.thread_counters)
+
+    def annotate(self, label: str) -> None:
+        """Label subsequent regions in the trace/profile (sticky)."""
+        self._label = label
 
     def reset(self) -> None:
         """Clear counters and time (the memory model keeps its caches warm)."""
@@ -91,6 +98,8 @@ class SMRuntime:
         # between runs land on whichever thread happened to execute last
         self._active_thread = None
         self.mem.set_counters(self.thread_counters[0])
+        if self.tracer is not None:
+            self.tracer.on_reset()
 
     def _activate(self, t: int) -> None:
         self._active_thread = t
@@ -138,8 +147,12 @@ class SMRuntime:
         items = np.asarray(items, dtype=np.int64)
         if by_owner:
             chunks = self.part.group_by_owner(items)
+            if self.tracer is not None:
+                self.tracer.on_schedule("by-owner", len(items),
+                                        [len(c) for c in chunks], None)
         else:
-            chunks = assign(items, self.P, schedule or self.schedule, self.chunk)
+            chunks = assign(items, self.P, schedule or self.schedule,
+                            self.chunk, tracer=self.tracer)
         self._region(chunks, body, barrier)
 
     def sequential(self, body: Callable[[], None], thread: int = 0,
@@ -149,17 +162,30 @@ class SMRuntime:
         Models the serial phases of Greedy-Switch / Conflict-Removal:
         the region's time is that single thread's cost.
         """
+        tracer = self.tracer
+        t_start = self.time
         self._activate(thread)
         self.mem.region_begin()
+        snap = self.thread_counters[thread].copy() if tracer is not None else None
         before = self.machine.time(self.thread_counters[thread])
         body()
-        self.time += self.machine.time(self.thread_counters[thread]) - before
+        span = self.machine.time(self.thread_counters[thread]) - before
+        self.time += span
         self.mem.region_end()
+        if tracer is not None:
+            spans = [0.0] * self.P
+            spans[thread] = span
+            deltas = [PerfCounters() for _ in range(self.P)]
+            deltas[thread] = self.thread_counters[thread] - snap
+            tracer.on_region(self._label, t_start, span, spans, deltas,
+                             sequential=True)
         if barrier:
             self.barrier()
 
     def barrier(self) -> None:
         """A full barrier: every thread pays the barrier cost once."""
+        if self.tracer is not None:
+            self.tracer.on_barrier(self.time)
         for c in self.thread_counters:
             c.barriers += 1
         self.time += self.machine.w_barrier
@@ -169,15 +195,25 @@ class SMRuntime:
     # -- internals -----------------------------------------------------------------
     def _region(self, chunks: Sequence[np.ndarray],
                 body: Callable[[int, np.ndarray], None], barrier: bool) -> None:
+        tracer = self.tracer
+        t_start = self.time
         spans = []
+        deltas = []
         self.mem.region_begin()
         for t, chunk in enumerate(chunks):
             self._activate(t)
+            snap = self.thread_counters[t].copy() if tracer is not None else None
             before = self.machine.time(self.thread_counters[t])
             body(t, chunk)
             spans.append(self.machine.time(self.thread_counters[t]) - before)
+            if tracer is not None:
+                deltas.append(self.thread_counters[t] - snap)
         self.mem.region_end()
-        self.time += self._region_span(spans)
+        span = self._region_span(spans)
+        self.time += span
+        if tracer is not None:
+            tracer.on_region(self._label, t_start, span, spans, deltas,
+                             sizes=[len(c) for c in chunks])
         if barrier:
             self.barrier()
 

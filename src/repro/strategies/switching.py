@@ -58,11 +58,22 @@ def direction_optimizing_bfs(g: CSRGraph, rt: SMRuntime, root: int,
     total_edges = int(degrees.sum())
     explored_edges = int(degrees[root])
     direction = PUSH
+    tr = getattr(rt, "tracer", None)
     while state.frontier_nonempty():
         frontier_edges = int(degrees[state.frontier].sum())
+        previous = direction
         direction = policy.choose(direction, frontier_edges,
                                   total_edges - explored_edges,
                                   len(state.frontier), g.n)
+        if tr is not None:
+            tr.on_switch(state.cur_level, previous, direction, {
+                "frontier_edges": frontier_edges,
+                "unexplored_edges": total_edges - explored_edges,
+                "frontier_size": len(state.frontier),
+                "n": g.n,
+                "alpha": policy.alpha,
+                "beta": policy.beta,
+            })
         state.step(direction)
         explored_edges += int(degrees[state.frontier].sum())
     return state.result("direction-optimizing")

@@ -160,6 +160,64 @@ def kernel(rt, mem, h):
 """
         assert lint_source(src) == []
 
+    def test_anl004_caller_barrier_one_level_up_suffices(self):
+        # the fused-phases idiom: a helper launches barrier-less regions
+        # and every caller closes the epoch itself (mirrors ANL005's
+        # one-level helper expansion)
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h):
+    fused(rt, mem, h)
+    rt.barrier()
+"""
+        assert lint_source(src) == []
+
+    def test_anl004_caller_without_barrier_still_flagged(self):
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h):
+    fused(rt, mem, h)
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL004"}
+        assert "callers" in findings[0].message
+
+    def test_anl004_one_bad_caller_among_good_ones_flags(self):
+        # every caller must barrier; a single leaky call site taints the
+        # helper
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel_a(rt, mem, h):
+    fused(rt, mem, h)
+    rt.barrier()
+
+def kernel_b(rt, mem, h):
+    fused(rt, mem, h)
+"""
+        assert _rules(lint_source(src)) == {"ANL004"}
+
+    def test_anl004_uncalled_helper_is_flagged(self):
+        # no caller at all means nobody closes the epoch
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+"""
+        assert _rules(lint_source(src)) == {"ANL004"}
+
     def test_lambda_trampoline_is_resolved(self):
         src = """
 def kernel(rt, mem, h, shared):

@@ -90,3 +90,10 @@ class TestAnalyzeFaults:
         assert rc == 0
         out = capsys.readouterr().out
         assert "road n=64" in out and "dm: 0 failing" in out
+
+    def test_comm_dataset_accepted(self, capsys):
+        rc = main(["analyze", "--dm", "--dataset", "comm",
+                   "--scale", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "comm n=64" in out and "dm: 0 failing" in out

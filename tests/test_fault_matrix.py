@@ -87,3 +87,31 @@ class TestRoadDataset:
                               fault_seeds=(0,), plans=plans)
         bad = [r for r in runs if not r.ok]
         assert bad == [], "\n".join(str(r) for r in bad)
+
+
+class TestCommDataset:
+    """The communication-heavy family across all three suites."""
+
+    def test_instance_graph_comm(self):
+        g = instance_graph("comm", 64, 4.0, 7, weighted=True)
+        assert g.n == 64 and g.weights is not None
+        # the hub construction must beat the requested floor density
+        assert g.m / g.n >= 4.0
+
+    def test_dm_matrix_on_comm(self):
+        runs = analyze_dm(n=64, P=4, dataset="comm")
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_sm_matrix_on_comm(self):
+        runs = analyze_algorithms(n=64, P=4, dataset="comm",
+                                  algorithms=("PR", "BFS"))
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_chaos_on_comm(self):
+        plans = [("chaos", default_fault_plans(0)[-1][1])]
+        runs = analyze_faults(n=36, P=4, dataset="comm",
+                              fault_seeds=(0,), plans=plans)
+        bad = [r for r in runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)

@@ -1,0 +1,238 @@
+"""Tests for the unified trace/metrics layer (repro.observability).
+
+Covers the ISSUE-4 acceptance surface: bit-identical JSONL exports
+(including under fault plans), exact PerfCounters reconciliation
+between region/superstep deltas and run totals, Chrome trace-event
+structural validity (matched B/E pairs, monotonic per-lane
+timestamps), the metrics rollup, the Profile fold, and the
+import-lightness of the runtime/observability modules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.observability import (
+    SCHEMA, chrome_trace, metrics_rollup, to_jsonl_lines, write_outputs,
+)
+from repro.observability.driver import run_traced
+
+SRC = str(Path(__file__).parent.parent / "src")
+
+
+def _trace(algorithm="pagerank", **kw):
+    _rt, tracer, _resolved, _result = run_traced(algorithm, **kw)
+    return tracer
+
+
+class TestDeterminism:
+    def test_sm_jsonl_bit_identical(self):
+        a = to_jsonl_lines(_trace("pagerank", variant="push"))
+        b = to_jsonl_lines(_trace("pagerank", variant="push"))
+        assert a == b
+
+    def test_dm_fault_jsonl_bit_identical(self):
+        kw = dict(variant="push", dm=True, faults=True)
+        a = to_jsonl_lines(_trace("pagerank", **kw))
+        b = to_jsonl_lines(_trace("pagerank", **kw))
+        assert a == b
+        # the fault plan must actually have fired for this to mean much
+        assert any('"kind":"recovery"' in line or '"kind":"fault"' in line
+                   for line in a)
+
+    def test_chrome_and_metrics_deterministic(self):
+        t1 = _trace("bfs", variant="switching")
+        t2 = _trace("bfs", variant="switching")
+        dumps = lambda o: json.dumps(o, sort_keys=True)  # noqa: E731
+        assert dumps(chrome_trace(t1)) == dumps(chrome_trace(t2))
+        assert dumps(metrics_rollup(t1)) == dumps(metrics_rollup(t2))
+
+    def test_written_files_identical_across_runs(self, tmp_path):
+        p1 = write_outputs(_trace("sssp", variant="pull", dm=True),
+                           str(tmp_path / "a"))
+        p2 = write_outputs(_trace("sssp", variant="pull", dm=True),
+                           str(tmp_path / "b"))
+        for key in ("jsonl", "chrome", "metrics"):
+            assert Path(p1[key]).read_bytes() == Path(p2[key]).read_bytes()
+
+
+class TestReconciliation:
+    """Σ region/superstep deltas + barrier events == run totals, exactly."""
+
+    @pytest.mark.parametrize("algorithm,kw", [
+        ("pagerank", dict(variant="push")),
+        ("pagerank", dict(variant="pull")),
+        ("bfs", dict(variant="switching")),
+        ("sssp", dict(variant="push")),
+        ("pagerank", dict(variant="pull", dm=True)),
+        ("bfs", dict(variant="push", dm=True)),
+        ("sssp", dict(variant="push", dm=True)),
+        ("pagerank", dict(variant="push", dm=True, faults=True)),
+        ("bfs", dict(variant="switching", dm=True, faults=True)),
+    ])
+    def test_traced_totals_match_run_totals(self, algorithm, kw):
+        tracer = _trace(algorithm, **kw)
+        traced, actual = tracer.reconcile()
+        assert traced.to_dict() == actual.to_dict()
+
+    def test_totals_are_nonzero(self):
+        traced, actual = _trace("pagerank", variant="push").reconcile()
+        assert any(v for v in actual.to_dict().values())
+
+
+class TestChromeTrace:
+    def _events(self, **kw):
+        return chrome_trace(_trace(**kw))["traceEvents"]
+
+    @pytest.mark.parametrize("kw", [
+        dict(algorithm="pagerank", variant="push"),
+        dict(algorithm="pagerank", variant="push", dm=True, faults=True),
+    ])
+    def test_b_e_pairs_match_per_lane(self, kw):
+        stacks: dict[int, list[str]] = {}
+        for ev in self._events(**kw):
+            if ev["ph"] == "B":
+                stacks.setdefault(ev["tid"], []).append(ev["name"])
+            elif ev["ph"] == "E":
+                assert stacks.get(ev["tid"]), f"E without B on {ev['tid']}"
+                assert stacks[ev["tid"]].pop() == ev["name"]
+        assert all(not s for s in stacks.values()), "unclosed B events"
+
+    def test_timestamps_valid_for_importer(self):
+        # trace importers (Perfetto) sort by ts, so file order is free;
+        # what must hold is E.ts >= B.ts for every pair and nothing
+        # before the epoch
+        opens: dict[int, list[float]] = {}
+        for ev in self._events(algorithm="pagerank", variant="push",
+                               dm=True, faults=True):
+            if "ts" in ev:
+                assert ev["ts"] >= 0.0
+            if ev["ph"] == "B":
+                opens.setdefault(ev["tid"], []).append(ev["ts"])
+            elif ev["ph"] == "E":
+                assert ev["ts"] >= opens[ev["tid"]].pop()
+
+    def test_runtime_lane_is_monotonic(self):
+        # the runtime lane (barriers / supersteps / global instants) is
+        # emitted in simulated-time order even in file order
+        evs = self._events(algorithm="pagerank", variant="push", dm=True)
+        P = 4
+        last = 0.0
+        for ev in evs:
+            if ev.get("tid") == P and "ts" in ev and ev["ph"] != "E":
+                assert ev["ts"] >= last
+                last = ev["ts"]
+
+    def test_one_lane_per_rank_plus_runtime(self):
+        evs = self._events(algorithm="pagerank", variant="push", dm=True,
+                           P=4)
+        names = {ev["args"]["name"] for ev in evs
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        assert names == {"rank 0", "rank 1", "rank 2", "rank 3", "runtime"}
+
+    def test_frontier_counter_track(self):
+        evs = self._events(algorithm="bfs", variant="push")
+        counters = [ev for ev in evs if ev["ph"] == "C"]
+        assert counters and all(ev["name"] == "frontier-size"
+                                for ev in counters)
+
+
+class TestEventContent:
+    def test_jsonl_header_carries_schema(self):
+        lines = to_jsonl_lines(_trace("pagerank", variant="push"))
+        head = json.loads(lines[0])
+        assert head["schema"] == SCHEMA
+        assert head["runtime"] == "sm" and head["P"] == 4
+
+    def test_switch_events_carry_operands(self):
+        tracer = _trace("bfs", variant="switching")
+        switches = [ev for ev in tracer.events if ev.kind == "switch"]
+        assert switches, "direction-optimizing BFS must log its decisions"
+        for ev in switches:
+            assert "frontier_edges" in ev.data and "alpha" in ev.data
+            assert ev.data["chosen"] in ("push", "pull")
+
+    def test_frontier_events_carry_density(self):
+        tracer = _trace("bfs", variant="push")
+        fronts = [ev for ev in tracer.events if ev.kind == "frontier"]
+        assert fronts
+        for ev in fronts:
+            assert 0.0 <= ev.data["density"] <= 1.0
+
+    def test_regions_are_phase_annotated(self):
+        tracer = _trace("pagerank", variant="pull")
+        labels = {ev.label for ev in tracer.events if ev.kind == "region"}
+        assert "pr.pull" in labels and "pr.finalize" in labels
+
+    def test_dm_comm_verbs_recorded(self):
+        tracer = _trace("pagerank", variant="push", dm=True)
+        kinds = {ev.kind for ev in tracer.events}
+        assert "rma" in kinds and "flush" in kinds
+
+    def test_recovery_events_land_on_injected_lane(self):
+        tracer = _trace("pagerank", variant="push", dm=True, faults=True)
+        recov = [ev for ev in tracer.events if ev.kind == "recovery"]
+        assert recov, "the default chaos plan must trigger recovery"
+        P = tracer.rt.P
+        assert all(ev.lane is None or 0 <= ev.lane < P for ev in recov)
+        assert any(ev.lane is not None for ev in recov)
+
+    def test_faults_require_dm(self):
+        with pytest.raises(ValueError, match="requires --dm"):
+            run_traced("pagerank", faults=True)
+
+
+class TestMetricsRollup:
+    def test_series_sum_to_step_counters(self):
+        roll = metrics_rollup(_trace("pagerank", variant="push"))
+        for name, values in roll["series"].items():
+            total = sum(s["counters"].get(name, 0) for s in roll["steps"])
+            assert sum(values) == total
+
+    def test_step_times_bounded_by_run_time(self):
+        roll = metrics_rollup(_trace("pagerank", variant="push", dm=True))
+        assert sum(s["time"] for s in roll["steps"]) <= roll["time_mtu"]
+
+
+class TestProfileFold:
+    def test_profiled_runtime_uses_tracer(self, tiny_graph):
+        from repro.algorithms.pagerank import pagerank
+        from repro.runtime.profiler import ProfiledRuntime
+        rt = ProfiledRuntime(tiny_graph, P=4)
+        pagerank(tiny_graph, rt, direction="pull", iterations=2)
+        prof = rt.profile
+        assert prof.records and rt.tracer is not None
+        # profile totals cover region spans; barrier time is the rest
+        barriers = sum(ev.dur for ev in rt.tracer.events
+                       if ev.kind == "barrier")
+        assert abs(prof.total + barriers - rt.time) < 1e-9
+
+    def test_profile_from_trace_matches_region_events(self, tiny_graph):
+        from repro.algorithms.pagerank import pagerank
+        from repro.runtime.profiler import Profile
+        from repro.runtime.sm import SMRuntime
+        from repro.observability import attach_tracer
+        rt = SMRuntime(tiny_graph, P=4)
+        tracer = attach_tracer(rt)
+        pagerank(tiny_graph, rt, direction="push", iterations=2)
+        prof = Profile.from_trace(tracer.events)
+        regions = [ev for ev in tracer.events if ev.kind == "region"]
+        assert len(prof.records) == len(regions)
+        assert [r.span for r in prof.records] == [ev.dur for ev in regions]
+
+    def test_runtime_modules_stay_import_light(self):
+        # Profile.render lazy-imports the chart helpers; importing the
+        # profiler (or the observability package) must not drag in the
+        # harness
+        code = ("import sys; import repro.runtime.profiler, "
+                "repro.observability; "
+                "assert 'repro.harness.charts' not in sys.modules, "
+                "'chart code leaked into the runtime import graph'")
+        env = dict(os.environ, PYTHONPATH=SRC)
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)

@@ -1,0 +1,67 @@
+"""Smoke tests for the ``python -m repro trace`` subcommand."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestTraceCommand:
+    def test_sm_trace_writes_all_exports(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "traced pagerank/push [sm]" in text
+        assert "counter reconciliation: ok" in text
+        for name in ("events.jsonl", "trace.json", "metrics.json"):
+            assert (out / name).exists()
+        chrome = json.loads((out / "trace.json").read_text())
+        assert chrome["traceEvents"]
+
+    def test_dm_faults_trace(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "push", "--dm",
+                   "--faults", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "[dm]" in text and "counter reconciliation: ok" in text
+        assert "recovery=" in text
+        lines = (out / "events.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["runtime"] == "dm"
+
+    def test_switching_bfs_trace(self, capsys, tmp_path):
+        rc = main(["trace", "bfs", "--variant", "switching",
+                   "--out", str(tmp_path / "t")])
+        assert rc == 0
+        assert "switch=" in capsys.readouterr().out
+
+    def test_faults_without_dm_is_an_error(self, capsys, tmp_path):
+        rc = main(["trace", "pagerank", "--faults",
+                   "--out", str(tmp_path / "t")])
+        assert rc == 2
+        assert "requires --dm" in capsys.readouterr().err
+
+    def test_missing_algorithm_without_bench_is_an_error(self, capsys,
+                                                         tmp_path):
+        rc = main(["trace", "--out", str(tmp_path / "t")])
+        assert rc == 2
+        assert "algorithm" in capsys.readouterr().out
+
+    def test_bench_writes_baseline(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_trace.json"
+        rc = main(["trace", "--bench", "--out", str(target)])
+        assert rc == 0
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro-bench/1"
+        assert len(doc["cells"]) == 12
+        for cell in doc["cells"]:
+            assert cell["time_mtu"] > 0 and cell["events"]
+
+    def test_bench_matches_committed_baseline(self, tmp_path):
+        from pathlib import Path
+        committed = Path(__file__).parent.parent / "BENCH_trace.json"
+        target = tmp_path / "bench.json"
+        assert main(["trace", "--bench", "--out", str(target)]) == 0
+        assert json.loads(target.read_text()) == \
+            json.loads(committed.read_text())
