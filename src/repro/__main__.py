@@ -13,11 +13,18 @@ Commands
     Forwarded to :mod:`repro.harness.run_all`.
 ``analyze [...]``
     Race-detect, epoch-check, lint, and chaos-test the kernels.
-``trace <algorithm> [--variant v] [--dm] [--faults] --out DIR``
+``trace <algorithm> [--variant v] [--dm] [--faults] [--flame] --out DIR``
     Run one kernel under the observability tracer and export the
-    Chrome trace, JSONL event log, and metrics rollup
+    Chrome trace, JSONL event log, metrics rollup, and (with
+    ``--flame``) a folded-stack flamegraph
     (:mod:`repro.observability`); ``--bench`` writes the
-    ``BENCH_trace.json`` perf-baseline sweep instead.
+    ``BENCH_trace.json`` + ``BENCH_perf.json`` perf-baseline sweep
+    instead.
+``bench diff <baseline> <candidate> [--tolerance-pct N] [--markdown]``
+    Semantic perf-baseline comparison: metric-by-metric diff of two
+    ``repro-bench/2`` documents with drift attributed to
+    cell -> phase -> counter; exits nonzero only on out-of-tolerance
+    drift (:mod:`repro.observability.regress`).
 """
 
 from __future__ import annotations
@@ -121,8 +128,33 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--iterations", type=int, default=5)
     tr.add_argument("--fault-seed", type=int, default=1)
     tr.add_argument("--bench", action="store_true",
-                    help="write the BENCH_trace.json perf baseline sweep "
-                         "instead of a single trace")
+                    help="write the BENCH_trace.json + BENCH_perf.json "
+                         "perf baseline sweep instead of a single trace")
+    tr.add_argument("--flame", action="store_true",
+                    help="also export the folded-stack flamegraph "
+                         "(flame.folded; feeds flamegraph.pl/speedscope)")
+    tr.add_argument("--cache-scale", type=int, default=64,
+                    help="cache-simulation scale factor for counter "
+                         "attribution (0 disables the cache simulator)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-baseline operations (semantic diff with tolerances)")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bd = bsub.add_parser(
+        "diff",
+        help="compare two repro-bench documents metric-by-metric")
+    bd.add_argument("baseline", help="committed baseline JSON")
+    bd.add_argument("candidate", help="freshly generated JSON to compare")
+    bd.add_argument("--tolerance-pct", type=float, default=0.0,
+                    help="allowed drift per metric, in percent of the "
+                         "baseline value (default 0: exact)")
+    bd.add_argument("--markdown", action="store_true",
+                    help="print a markdown report instead of the plain "
+                         "summary")
+    bd.add_argument("--report", default=None, metavar="PATH",
+                    help="also write the machine-readable verdict "
+                         "(repro-benchdiff/1) to PATH")
     return ap
 
 
@@ -335,6 +367,9 @@ def main(argv=None) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.command == "bench":
+        from repro.observability.regress import diff_main
+        return diff_main(args)
     from repro.harness.run_all import main as run_all_main
     return run_all_main(args.rest)
 

@@ -1,12 +1,29 @@
-"""The ``BENCH_trace.json`` perf baseline (schema ``repro-bench/1``).
+"""The committed perf baselines (schema ``repro-bench/2``).
 
 A deterministic small-graph sweep -- PR / BFS / SSSP x push / pull x
-SM / DM on one seeded ER instance -- each cell run under a tracer so
-the baseline records not just the end-to-end simulated time but the
-event totals and trace shape (regions / supersteps / barriers) per
-Table-1/Table-3 cell.  Everything is seeded and timestamps are
-simulated, so two sweeps produce byte-identical files; subsequent PRs
-diff against the committed baseline to see their perf trajectory.
+SM / DM on one seeded ER instance -- each cell run under a tracer with
+the trace-driven cache simulation equipped
+(:func:`repro.observability.hwcounters.equip_cache_sim`), so the
+baseline records, per Table-1/Table-3 cell:
+
+* the end-to-end simulated ``time_mtu`` and nonzero counter totals,
+  now **including the L1/L2/L3/TLB miss columns** of the paper's
+  Table 1;
+* the per-phase breakdown (``rt.annotate`` labels with their time and
+  counter aggregates) -- the attribution surface ``repro bench diff``
+  points at when a metric drifts;
+* the partition edge-cut next to the communication verb counts (DM
+  cells' traffic is chargeable against the cut,
+  :func:`repro.analysis.crosscheck.dm_crosscheck`);
+* the event-kind counts (trace shape).
+
+Two documents are derived from one sweep: ``BENCH_trace.json`` (the
+full baseline above) and ``BENCH_perf.json`` (the runtime-focused
+rollup -- per-cell time plus headline counters, no phases -- the
+numeric perf series future PRs diff against).  Everything is seeded
+and timestamps are simulated, so two sweeps produce byte-identical
+files; ``repro bench diff`` compares a fresh sweep against the
+committed copies with per-metric tolerances instead of ``cmp``.
 """
 
 from __future__ import annotations
@@ -14,8 +31,8 @@ from __future__ import annotations
 import json
 import os
 
-#: versioned schema tag of the baseline file
-BENCH_SCHEMA = "repro-bench/1"
+#: versioned schema tag of the baseline files
+BENCH_SCHEMA = "repro-bench/2"
 
 #: the sweep grid: (algorithm, variant) x (sm, dm)
 BENCH_ALGORITHMS = ("pagerank", "bfs", "sssp")
@@ -23,12 +40,22 @@ BENCH_VARIANTS = ("push", "pull")
 
 #: one deterministic instance for every cell
 BENCH_CONFIG = {"dataset": "er", "n": 96, "P": 4, "seed": 7,
-                "iterations": 5}
+                "iterations": 5, "cache_scale": 64}
+
+#: headline counters of the BENCH_perf.json runtime rollup
+PERF_COUNTERS = (
+    "reads", "writes", "atomics", "locks",
+    "l1_misses", "l2_misses", "l3_misses", "tlb_d_misses",
+    "messages", "msg_bytes", "collectives", "remote_gets", "remote_puts",
+    "remote_acc_int", "remote_acc_float", "remote_bytes", "flushes",
+    "barriers",
+)
 
 
 def bench_sweep() -> dict:
-    """Run the full grid; returns the baseline document."""
+    """Run the full grid; returns the ``BENCH_trace.json`` document."""
     from repro.observability.driver import run_traced
+    from repro.observability.export import metrics_rollup
 
     cells = []
     for algorithm in BENCH_ALGORITHMS:
@@ -38,11 +65,19 @@ def bench_sweep() -> dict:
                     algorithm, variant=variant, dm=(runtime == "dm"),
                     dataset=BENCH_CONFIG["dataset"], n=BENCH_CONFIG["n"],
                     P=BENCH_CONFIG["P"], seed=BENCH_CONFIG["seed"],
-                    iterations=BENCH_CONFIG["iterations"])
+                    iterations=BENCH_CONFIG["iterations"],
+                    cache_scale=BENCH_CONFIG["cache_scale"])
                 totals = tracer.traced_totals()
                 kinds: dict[str, int] = {}
                 for ev in tracer.events:
                     kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+                rollup = metrics_rollup(tracer)
+                phases = [{
+                    "label": p["label"],
+                    "events": p["events"],
+                    "time_mtu": p["time"],
+                    "counters": p["counters"],
+                } for p in rollup["phases"]]
                 cells.append({
                     "algorithm": algorithm,
                     "variant": variant,
@@ -52,21 +87,47 @@ def bench_sweep() -> dict:
                     "time_mtu": rt.time,
                     "counters": {k: v for k, v in totals.to_dict().items()
                                  if v},
+                    "phases": phases,
+                    "cut": tracer.cut,
                     "events": kinds,
                 })
-    return {"schema": BENCH_SCHEMA, "config": dict(BENCH_CONFIG),
-            "cells": cells}
+    return {"schema": BENCH_SCHEMA, "kind": "trace",
+            "config": dict(BENCH_CONFIG), "cells": cells}
 
 
-def write_bench(out: str) -> str:
-    """Write the baseline to ``out`` (a ``.json`` file, or a directory
-    that receives ``BENCH_trace.json``).  Returns the path written."""
-    path = out
-    if not out.endswith(".json"):
-        os.makedirs(out, exist_ok=True)
-        path = os.path.join(out, "BENCH_trace.json")
-    doc = bench_sweep()
+def perf_rollup(doc: dict) -> dict:
+    """The runtime-focused ``BENCH_perf.json`` view of a sweep document."""
+    cells = [{
+        "algorithm": c["algorithm"],
+        "variant": c["variant"],
+        "runtime": c["runtime"],
+        "time_mtu": c["time_mtu"],
+        "counters": {k: c["counters"][k] for k in PERF_COUNTERS
+                     if c["counters"].get(k)},
+    } for c in doc["cells"]]
+    return {"schema": doc["schema"], "kind": "perf",
+            "config": dict(doc["config"]), "cells": cells}
+
+
+def _write_json(doc: dict, path: str) -> str:
     with open(path, "w") as fh:
         json.dump(doc, fh, sort_keys=True, indent=1, allow_nan=False)
         fh.write("\n")
     return path
+
+
+def write_bench(out: str) -> dict:
+    """Write both baselines; returns ``{"trace": path, "perf": path}``.
+
+    ``out`` is the target ``.json`` file for the trace baseline (or a
+    directory that receives ``BENCH_trace.json``); ``BENCH_perf.json``
+    lands next to it.
+    """
+    path = out
+    if not out.endswith(".json"):
+        path = os.path.join(out, "BENCH_trace.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    doc = bench_sweep()
+    perf_path = os.path.join(os.path.dirname(path) or ".", "BENCH_perf.json")
+    return {"trace": _write_json(doc, path),
+            "perf": _write_json(perf_rollup(doc), perf_path)}

@@ -302,22 +302,26 @@ class CacheSimMemory(MemoryModel):
     """Memory model backed by the trace-driven cache simulator.
 
     Every thread gets its own private L1/L2 and TLB; L3 is shared
-    across threads (as on the paper's Xeons).  The runtime must call
-    :meth:`set_thread` alongside :meth:`set_counters` so misses are
-    simulated in the right private caches and *attributed* to the right
-    thread's counters.
+    across threads by default (as on the paper's Xeons).  Pass
+    ``shared_l3=False`` when the "threads" model distributed-memory
+    *processes* on separate nodes, each with its own socket-private L3.
+    The runtime must call :meth:`set_thread` alongside
+    :meth:`set_counters` so misses are simulated in the right private
+    caches and *attributed* to the right thread's counters.
     """
 
     def __init__(self, hierarchy: CacheHierarchySpec | None = None,
-                 n_threads: int = 1) -> None:
+                 n_threads: int = 1, shared_l3: bool = True) -> None:
         super().__init__()
         self.hier = hierarchy or CacheHierarchySpec()
         self.n_threads = n_threads
+        self.shared_l3 = shared_l3
         self._sims = [CacheSim(self.hier) for _ in range(n_threads)]
-        # L3 shared: all per-thread sims share one L3 level object.
-        shared_l3 = self._sims[0].l3
-        for sim in self._sims[1:]:
-            sim.l3 = shared_l3
+        if shared_l3:
+            # all per-thread sims share one L3 level object
+            l3 = self._sims[0].l3
+            for sim in self._sims[1:]:
+                sim.l3 = l3
         self._thread = 0
         self._before = [s.snapshot() for s in self._sims]
         self._l3_before = 0

@@ -19,7 +19,19 @@ runtimes the same attribution surface:
 * :mod:`repro.observability.export` -- exporters: Chrome trace-event
   JSON (``chrome://tracing`` / Perfetto, one lane per thread or rank),
   a flat JSONL event log, and a metrics rollup (counter time-series per
-  region/superstep).
+  region/superstep, per-phase Table-1 cache columns, partition
+  edge-cut; schema ``repro-metrics/2``).
+* :mod:`repro.observability.hwcounters` -- cache-counter attribution:
+  :func:`equip_cache_sim` swaps the trace-driven cache/TLB simulator
+  into a runtime so every span delta carries L1/L2/L3/TLB miss counts;
+  :func:`miss_asymmetry` quantifies the paper's push-vs-pull locality
+  gap.
+* :mod:`repro.observability.flame` -- deterministic folded-stack
+  flamegraph export (lane -> phase over simulated time; feeds
+  ``flamegraph.pl`` / speedscope).
+* :mod:`repro.observability.regress` -- semantic perf-baseline diffing
+  (``repro bench diff``): metric-by-metric comparison with tolerances,
+  drift attributed to cell -> phase -> counter.
 * :mod:`repro.observability.driver` -- the ``python -m repro trace``
   entry point: run one kernel under a tracer and write all exports.
 
@@ -30,17 +42,40 @@ Profile` view renders without pulling chart code unless asked to.
 
 from repro.observability.events import SCHEMA, TraceEvent
 from repro.observability.export import (
-    chrome_trace, metrics_rollup, to_jsonl_lines, write_outputs,
+    METRICS_SCHEMA, chrome_trace, metrics_rollup, to_jsonl_lines,
+    write_outputs,
 )
-from repro.observability.tracer import Tracer, attach_tracer
+from repro.observability.flame import folded_stacks, write_flame
+from repro.observability.hwcounters import (
+    equip_cache_sim, miss_asymmetry, miss_rates,
+)
+from repro.observability.regress import (
+    BENCHDIFF_SCHEMA, BenchDiff, BenchDiffError, Drift, diff_bench,
+    diff_paths, load_baseline,
+)
+from repro.observability.tracer import Tracer, attach_tracer, edge_cut
 
 __all__ = [
+    "BENCHDIFF_SCHEMA",
+    "BenchDiff",
+    "BenchDiffError",
+    "Drift",
+    "METRICS_SCHEMA",
     "SCHEMA",
     "TraceEvent",
     "Tracer",
     "attach_tracer",
     "chrome_trace",
+    "diff_bench",
+    "diff_paths",
+    "edge_cut",
+    "equip_cache_sim",
+    "folded_stacks",
+    "load_baseline",
     "metrics_rollup",
+    "miss_asymmetry",
+    "miss_rates",
     "to_jsonl_lines",
+    "write_flame",
     "write_outputs",
 ]

@@ -6,16 +6,23 @@ optionally on the DM runtime and optionally under the default chaos
 fault plan, then writes all three exports into a directory::
 
     python -m repro trace pagerank --variant push --out /tmp/t
+    python -m repro trace pagerank --variant pull --flame --out /tmp/t
     python -m repro trace pagerank --variant push --dm --faults --out /tmp/t
     python -m repro trace --bench --out BENCH_trace.json
 
+By default the run is equipped with the trace-driven cache simulation
+(:func:`repro.observability.hwcounters.equip_cache_sim`), so every
+span delta and the metrics rollup carry the Table-1 L1/L2/L3/TLB miss
+columns; ``--cache-scale 0`` falls back to flat counting memory.
 Everything is seeded, so two invocations with the same flags produce
-byte-identical ``events.jsonl`` / ``trace.json`` / ``metrics.json``.
+byte-identical ``events.jsonl`` / ``trace.json`` / ``metrics.json`` /
+``flame.folded``.
 """
 
 from __future__ import annotations
 
 from repro.observability.export import write_outputs
+from repro.observability.hwcounters import DEFAULT_CACHE_SCALE, equip_cache_sim
 from repro.observability.tracer import attach_tracer
 
 #: kernels the trace driver knows how to launch
@@ -65,11 +72,14 @@ def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
 def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
                faults: bool = False, dataset: str = "er", n: int = 96,
                P: int = 4, seed: int = 7, iterations: int = 5,
-               fault_seed: int = 1):
+               fault_seed: int = 1, cache_scale: int = DEFAULT_CACHE_SCALE):
     """Run one kernel under a fresh tracer.
 
     Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
-    requires ``dm`` (the fault layer is a DM-runtime hook).
+    requires ``dm`` (the fault layer is a DM-runtime hook).  A nonzero
+    ``cache_scale`` swaps in the trace-driven cache simulator (scaled
+    down by that factor) so span deltas carry cache/TLB miss counters;
+    ``cache_scale=0`` keeps the runtime's flat counting memory.
     """
     from repro.analysis.runner import instance_graph
     if faults and not dm:
@@ -83,7 +93,9 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     else:
         from repro.runtime.sm import SMRuntime
         rt = SMRuntime(g, P)
-    tracer = attach_tracer(rt)
+    if cache_scale:
+        equip_cache_sim(rt, cache_scale=cache_scale)
+    tracer = attach_tracer(rt, graph=g)
     if faults:
         from repro.runtime.faults import attach_fault_injector
         attach_fault_injector(rt, default_fault_plan(fault_seed))
@@ -95,8 +107,9 @@ def trace_main(args) -> int:
     """Back the ``repro trace`` CLI subcommand; returns an exit code."""
     if args.bench:
         from repro.harness.bench import write_bench
-        path = write_bench(args.out)
-        print(f"wrote perf baseline: {path}")
+        paths = write_bench(args.out)
+        print(f"wrote perf baseline: {paths['trace']}")
+        print(f"wrote perf rollup:   {paths['perf']}")
         return 0
     if args.algorithm is None:
         print("error: an algorithm is required unless --bench is given")
@@ -104,8 +117,9 @@ def trace_main(args) -> int:
     rt, tracer, resolved, _result = run_traced(
         args.algorithm, variant=args.variant, dm=args.dm, faults=args.faults,
         dataset=args.dataset, n=args.scale, P=args.procs, seed=args.seed,
-        iterations=args.iterations, fault_seed=args.fault_seed)
-    paths = write_outputs(tracer, args.out)
+        iterations=args.iterations, fault_seed=args.fault_seed,
+        cache_scale=args.cache_scale)
+    paths = write_outputs(tracer, args.out, flame=args.flame)
     kinds: dict[str, int] = {}
     for ev in tracer.events:
         kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
@@ -117,6 +131,7 @@ def trace_main(args) -> int:
     traced, actual = tracer.reconcile()
     status = "ok" if traced.to_dict() == actual.to_dict() else "MISMATCH"
     print(f"  counter reconciliation: {status}")
-    for key in ("jsonl", "chrome", "metrics"):
-        print(f"  {key}: {paths[key]}")
+    for key in ("jsonl", "chrome", "metrics", "flame"):
+        if key in paths:
+            print(f"  {key}: {paths[key]}")
     return 0 if status == "ok" else 1

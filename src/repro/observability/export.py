@@ -13,10 +13,19 @@ same seed/config produce byte-identical files):
   supersteps become matched ``B``/``E`` duration pairs, communication
   and fault events become instants on the issuing rank's lane, frontier
   sizes become a counter track.  1 mtu is rendered as 1 µs.
-* :func:`metrics_rollup` -- counter time-series per region/superstep
-  plus run totals (schema ``repro-metrics/1``).
+* :func:`metrics_rollup` -- counter time-series per region/superstep,
+  per-phase aggregates with Table-1-style cache columns, the partition
+  edge-cut next to the communication verb totals, and run totals
+  (schema ``repro-metrics/2``).
 
-:func:`write_outputs` writes all three into a directory.
+All exporters emit valid, schema-complete documents for *empty* traces
+(a tracer that recorded nothing) and for zero-duration spans (regions
+whose lanes did no costed work): every top-level key is present, idle
+zero-span lanes are dropped from the Chrome view instead of emitting
+empty boxes, and no derived rate divides by zero.
+
+:func:`write_outputs` writes all three into a directory (plus the
+folded-stack flamegraph when asked).
 """
 
 from __future__ import annotations
@@ -25,9 +34,15 @@ import json
 import os
 
 from repro.observability.events import SCHEMA
+from repro.observability.hwcounters import TABLE1_COLUMNS
 
 #: versioned schema tag for the metrics rollup
-METRICS_SCHEMA = "repro-metrics/1"
+METRICS_SCHEMA = "repro-metrics/2"
+
+#: the communication verb totals reported next to the edge cut
+COMM_COUNTERS = ("messages", "msg_bytes", "collectives", "collective_bytes",
+                 "remote_gets", "remote_puts", "remote_acc_int",
+                 "remote_acc_float", "remote_bytes", "flushes")
 
 #: event kinds rendered as B/E duration pairs on the runtime lane
 _GLOBAL_SPANS = ("barrier", "stall")
@@ -92,6 +107,10 @@ def chrome_trace(tracer) -> dict:
                 args = {"delta": deltas[t]} if t < len(deltas) else {}
                 if sizes is not None and t < len(sizes):
                     args["items"] = sizes[t]
+                if s == 0.0 and not args.get("delta") and not args.get("items"):
+                    # an idle lane (e.g. in a sequential region): a
+                    # zero-duration empty box is degenerate, skip it
+                    continue
                 span(ev.label, ev.ts, s, t, args)
             span(ev.label, ev.ts, ev.dur, P,
                  {"index": ev.data["index"], "kind": ev.kind})
@@ -112,9 +131,22 @@ def chrome_trace(tracer) -> dict:
 
 
 def metrics_rollup(tracer) -> dict:
-    """Counter time-series per region/superstep, plus run totals."""
+    """Counter time-series per region/superstep, plus phase/cut/run views.
+
+    ``steps`` is the per-region/superstep table, ``series`` pivots it
+    into one array per counter name, ``phases`` aggregates steps by
+    their ``rt.annotate`` label (in first-occurrence order), ``cache``
+    renders the phases as the paper's Table-1 cache columns (reads /
+    writes / L1 / L2 / L3 / TLB misses plus the per-read L1 miss rate),
+    ``cut`` is the partition edge-cut summary (``null`` when the tracer
+    was attached without a graph) and ``comm`` the communication verb
+    totals it bounds, ``frontier`` collects the traversal samples, and
+    ``totals`` are the reconciled run totals.
+    """
     steps = []
     frontier = []
+    phase_order: list[str] = []
+    phases: dict[str, dict] = {}
     for ev in tracer.events:
         if ev.kind in ("region", "superstep"):
             counters: dict[str, float] = {}
@@ -124,26 +156,57 @@ def metrics_rollup(tracer) -> dict:
             steps.append({"index": ev.data["index"], "kind": ev.kind,
                           "label": ev.label, "ts": ev.ts, "time": ev.dur,
                           "counters": counters})
+            agg = phases.get(ev.label)
+            if agg is None:
+                phase_order.append(ev.label)
+                agg = phases[ev.label] = {"label": ev.label, "events": 0,
+                                          "time": 0.0, "counters": {}}
+            agg["events"] += 1
+            agg["time"] += ev.dur
+            for k, v in counters.items():
+                agg["counters"][k] = agg["counters"].get(k, 0) + v
         elif ev.kind == "frontier":
             frontier.append(dict(ev.data))
     names = sorted({k for s in steps for k in s["counters"]})
     series = {k: [s["counters"].get(k, 0) for s in steps] for k in names}
     traced = tracer.traced_totals()
+    totals = traced.to_dict()
+    phase_rows = [phases[label] for label in phase_order]
     return {
         "schema": METRICS_SCHEMA,
         "meta": tracer.meta(),
         "time_mtu": tracer.rt.time - tracer.start_time,
         "steps": steps,
         "series": series,
+        "phases": phase_rows,
+        "cache": _cache_view(phase_rows),
+        "cut": tracer.cut,
+        "comm": {k: totals[k] for k in COMM_COUNTERS if totals[k]},
         "frontier": frontier,
-        "totals": {k: v for k, v in traced.to_dict().items() if v},
+        "totals": {k: v for k, v in totals.items() if v},
     }
 
 
-def write_outputs(tracer, outdir: str) -> dict:
+def _cache_view(phase_rows: list[dict]) -> dict:
+    """Table-1-style cache columns per phase (always schema-complete)."""
+    rows = []
+    for phase in phase_rows:
+        c = phase["counters"]
+        row = {"label": phase["label"]}
+        for k in TABLE1_COLUMNS:
+            row[k] = int(c.get(k, 0))
+        reads = row["reads"]
+        row["l1_per_read"] = (row["l1_misses"] / reads) if reads else 0.0
+        rows.append(row)
+    return {"columns": list(TABLE1_COLUMNS) + ["l1_per_read"], "rows": rows}
+
+
+def write_outputs(tracer, outdir: str, flame: bool = False) -> dict:
     """Write ``events.jsonl``, ``trace.json``, ``metrics.json``.
 
-    Returns ``{"jsonl": path, "chrome": path, "metrics": path}``.
+    With ``flame=True`` also writes the folded-stack flamegraph
+    ``flame.folded``.  Returns ``{"jsonl": path, "chrome": path,
+    "metrics": path[, "flame": path]}``.
     """
     os.makedirs(outdir, exist_ok=True)
     paths = {
@@ -157,8 +220,12 @@ def write_outputs(tracer, outdir: str) -> dict:
         fh.write(_dumps(chrome_trace(tracer)) + "\n")
     with open(paths["metrics"], "w") as fh:
         fh.write(_dumps(metrics_rollup(tracer)) + "\n")
+    if flame:
+        from repro.observability.flame import write_flame
+        paths["flame"] = write_flame(tracer, os.path.join(outdir,
+                                                          "flame.folded"))
     return paths
 
 
-__all__ = ["METRICS_SCHEMA", "SCHEMA", "chrome_trace", "metrics_rollup",
-           "to_jsonl_lines", "write_outputs"]
+__all__ = ["COMM_COUNTERS", "METRICS_SCHEMA", "SCHEMA", "chrome_trace",
+           "metrics_rollup", "to_jsonl_lines", "write_outputs"]

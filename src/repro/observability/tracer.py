@@ -48,7 +48,7 @@ class Tracer:
     a reused runtime produces a fresh, reconcilable trace per run.
     """
 
-    def __init__(self, rt) -> None:
+    def __init__(self, rt, graph=None) -> None:
         self.rt = rt
         self.is_dm = hasattr(rt, "superstep")
         self.events: list[TraceEvent] = []
@@ -56,6 +56,8 @@ class Tracer:
         self.n_regions = 0
         self.start_time = rt.time
         self.start_counters = rt.total_counters()
+        #: partition edge-cut summary (set when a graph is supplied)
+        self.cut = edge_cut(graph, rt.part) if graph is not None else None
         # superstep context (DM): start time + per-rank progress baselines
         self._ss_t0: float = rt.time
         self._ss_befores: list[float] = []
@@ -243,13 +245,39 @@ def _window_name(window) -> str | None:
     return str(getattr(window, "name", window))
 
 
-def attach_tracer(rt) -> Tracer:
+def edge_cut(g, part) -> dict:
+    """Partition edge-cut summary for the metrics rollup.
+
+    Counts directed edges whose endpoints live on different lanes of
+    the 1D partition -- the traffic ceiling every DM communication verb
+    is chargeable against (:func:`repro.analysis.crosscheck.
+    dm_crosscheck`) -- plus the per-lane outbound cross-edge counts.
+    """
+    import numpy as np
+    srcs = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.offsets))
+    so = part.owner(srcs)
+    cross = so != part.owner(g.adj)
+    edges_total = int(len(g.adj))
+    edges_cross = int(cross.sum())
+    per_lane = np.bincount(so[cross], minlength=part.P)
+    return {
+        "edges_total": edges_total,
+        "edges_cross": edges_cross,
+        "fraction": (edges_cross / edges_total) if edges_total else 0.0,
+        "per_lane_out": [int(x) for x in per_lane],
+    }
+
+
+def attach_tracer(rt, graph=None) -> Tracer:
     """Install a :class:`Tracer` as ``rt.tracer`` and return it.
 
     Composes with ``attach_dm_race_detector`` and
     ``attach_fault_injector`` in any order (each occupies its own
-    hook).  Re-attaching replaces the previous tracer.
+    hook).  Re-attaching replaces the previous tracer.  Passing the
+    input ``graph`` lets the tracer compute the partition edge-cut
+    summary the metrics rollup reports next to the communication verb
+    counts (``rollup["cut"]``).
     """
-    tracer = Tracer(rt)
+    tracer = Tracer(rt, graph=graph)
     rt.tracer = tracer
     return tracer

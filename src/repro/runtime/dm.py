@@ -58,7 +58,7 @@ import numpy as np
 from repro.graph.partition import Partition1D
 from repro.machine.cost_model import MachineSpec, XC40
 from repro.machine.counters import PerfCounters
-from repro.machine.memory import CountingMemory, MemoryModel
+from repro.machine.memory import CacheSimMemory, CountingMemory, MemoryModel
 
 
 @dataclass
@@ -153,6 +153,12 @@ class DMRuntime:
     def _activate(self, p: int) -> None:
         self._rank = p
         self.mem.set_counters(self.proc_counters[p])
+        # route trace-driven cache simulation into rank p's private
+        # caches (a no-op for the counting models)
+        if isinstance(self.mem, CacheSimMemory):
+            self.mem.set_thread(min(p, self.mem.n_threads - 1))
+        else:
+            self.mem.set_thread(p)
         if self.observer is not None:
             self.observer.on_activate(p)
 

@@ -5,7 +5,12 @@ Covers the ISSUE-4 acceptance surface: bit-identical JSONL exports
 between region/superstep deltas and run totals, Chrome trace-event
 structural validity (matched B/E pairs, monotonic per-lane
 timestamps), the metrics rollup, the Profile fold, and the
-import-lightness of the runtime/observability modules.
+import-lightness of the runtime/observability modules -- plus the
+ISSUE-5 surface: cache-counter attribution (span deltas carry
+L1/L2/L3/TLB miss columns that reconcile exactly and expose the
+push-vs-pull miss asymmetry), the partition edge-cut in the rollup
+cross-checked against the cut-based communication bounds, and the
+exporter edge cases (empty traces, zero-duration spans).
 """
 
 from __future__ import annotations
@@ -198,6 +203,148 @@ class TestMetricsRollup:
     def test_step_times_bounded_by_run_time(self):
         roll = metrics_rollup(_trace("pagerank", variant="push", dm=True))
         assert sum(s["time"] for s in roll["steps"]) <= roll["time_mtu"]
+
+
+class TestCacheCounters:
+    """Spans carry cache/TLB miss deltas (the paper's Table 1 columns)."""
+
+    def test_span_deltas_carry_cache_misses(self):
+        tracer = _trace("pagerank", variant="pull")
+        deltas = [d for ev in tracer.events if ev.kind == "region"
+                  for d in ev.data["deltas"]]
+        assert any(d.get("l1_misses") for d in deltas)
+        traced, actual = tracer.reconcile()
+        assert traced.to_dict() == actual.to_dict()
+        assert actual.l1_misses > 0 and actual.tlb_d_misses >= 0
+
+    def test_dm_span_deltas_carry_cache_misses(self):
+        tracer = _trace("pagerank", variant="pull", dm=True)
+        deltas = [d for ev in tracer.events if ev.kind == "superstep"
+                  for d in ev.data["deltas"]]
+        assert any(d.get("l1_misses") for d in deltas)
+        traced, actual = tracer.reconcile()
+        assert traced.to_dict() == actual.to_dict()
+
+    def test_push_pull_miss_asymmetry(self):
+        from repro.observability import miss_asymmetry
+        push = _trace("pagerank", variant="push").rt.total_counters()
+        pull = _trace("pagerank", variant="pull").rt.total_counters()
+        gap = miss_asymmetry(push.to_dict(), pull.to_dict())
+        # PR pull gathers random neighbor ranks; push streams its own
+        # adjacency -- pull must miss more per read (Section 6.1)
+        assert gap["l1_misses"] > 0
+
+    def test_cache_scale_zero_disables_simulation(self):
+        tracer = _trace("pagerank", variant="pull", cache_scale=0)
+        totals = tracer.rt.total_counters()
+        assert totals.reads > 0 and totals.l1_misses == 0
+
+    def test_rollup_cache_view_is_schema_complete(self):
+        from repro.observability.hwcounters import TABLE1_COLUMNS
+        roll = metrics_rollup(_trace("pagerank", variant="pull"))
+        assert roll["schema"] == "repro-metrics/2"
+        view = roll["cache"]
+        assert view["columns"] == list(TABLE1_COLUMNS) + ["l1_per_read"]
+        labels = {r["label"] for r in view["rows"]}
+        assert "pr.pull" in labels
+        for row in view["rows"]:
+            assert all(k in row for k in view["columns"])
+
+    def test_dm_ranks_have_private_l3(self, tiny_graph):
+        from repro.machine.memory import CacheSimMemory
+        from repro.observability.hwcounters import equip_cache_sim
+        from repro.runtime.dm import DMRuntime
+        from repro.runtime.sm import SMRuntime
+        dm_mem = equip_cache_sim(DMRuntime(96, 4))
+        assert isinstance(dm_mem, CacheSimMemory) and not dm_mem.shared_l3
+        sm_mem = equip_cache_sim(SMRuntime(tiny_graph, P=4))
+        assert isinstance(sm_mem, CacheSimMemory) and sm_mem.shared_l3
+
+
+class TestEdgeCut:
+    """rollup["cut"] agrees with the analysis layer's cut accounting."""
+
+    def test_cut_matches_cross_edges(self):
+        from repro.analysis.dm_runner import cross_edges
+        tracer = _trace("pagerank", variant="push", dm=True)
+        rt = tracer.rt
+        roll = metrics_rollup(tracer)
+        cut = roll["cut"]
+        g = tracer_graph()
+        assert cut["edges_cross"] == cross_edges(g, rt.part)
+        assert sum(cut["per_lane_out"]) == cut["edges_cross"]
+        assert 0.0 < cut["fraction"] <= 1.0
+
+    def test_comm_bounded_by_cut(self):
+        from repro.analysis.crosscheck import dm_crosscheck
+        tracer = _trace("pagerank", variant="push", dm=True, iterations=5)
+        roll = metrics_rollup(tracer)
+        check = dm_crosscheck(
+            "pagerank", "rma-push", tracer.rt.total_counters(),
+            m_cross=roll["cut"]["edges_cross"], P=tracer.rt.P,
+            supersteps=tracer.rt.superstep_index, rounds=5)
+        assert check.ok, check
+
+    def test_sm_trace_also_reports_cut(self):
+        roll = metrics_rollup(_trace("pagerank", variant="push"))
+        assert roll["cut"] is not None
+        assert roll["cut"]["edges_total"] > roll["cut"]["edges_cross"] > 0
+
+
+def tracer_graph():
+    """The instance every default ``run_traced`` call traces."""
+    from repro.analysis.runner import instance_graph
+    return instance_graph("er", 96, d_bar=4.0, seed=7, weighted=False)
+
+
+class TestExporterEdgeCases:
+    """Empty traces and zero-duration spans stay valid (ISSUE-5 b)."""
+
+    def _empty_tracer(self, tiny_graph):
+        from repro.observability import attach_tracer
+        from repro.runtime.sm import SMRuntime
+        rt = SMRuntime(tiny_graph, P=4)
+        return attach_tracer(rt, graph=tiny_graph)
+
+    def test_empty_trace_exports_are_schema_complete(self, tiny_graph,
+                                                     tmp_path):
+        tracer = self._empty_tracer(tiny_graph)
+        lines = to_jsonl_lines(tracer)
+        assert len(lines) == 1 and json.loads(lines[0])["schema"] == SCHEMA
+        chrome = chrome_trace(tracer)
+        assert chrome["traceEvents"]  # metadata lanes are always present
+        assert all(ev["ph"] == "M" for ev in chrome["traceEvents"])
+        roll = metrics_rollup(tracer)
+        for key in ("schema", "meta", "time_mtu", "steps", "series",
+                    "phases", "cache", "cut", "comm", "frontier", "totals"):
+            assert key in roll
+        assert roll["steps"] == [] and roll["cache"]["rows"] == []
+        assert roll["cut"]["edges_total"] > 0
+        paths = write_outputs(tracer, str(tmp_path / "empty"), flame=True)
+        assert Path(paths["flame"]).read_text() == ""
+        json.loads(Path(paths["chrome"]).read_text())
+        json.loads(Path(paths["metrics"]).read_text())
+
+    def test_zero_duration_spans_not_exported_as_empty_boxes(self):
+        # sequential regions put all other lanes at span 0.0 with empty
+        # deltas; those must not become zero-duration B/E boxes
+        chrome = chrome_trace(_trace("bfs", variant="push"))
+        P = 4
+        opens: dict[tuple[int, str], list[dict]] = {}
+        for ev in chrome["traceEvents"]:
+            if ev["ph"] == "B" and ev["tid"] < P:
+                opens.setdefault((ev["tid"], ev["name"]), []).append(ev)
+            elif ev["ph"] == "E" and ev["tid"] < P:
+                b = opens[(ev["tid"], ev["name"])].pop()
+                if ev["ts"] == b["ts"]:
+                    assert b["args"], ("zero-duration span with no "
+                                       "payload exported")
+
+    def test_zero_read_phase_has_zero_rate(self):
+        from repro.observability.export import _cache_view
+        rows = _cache_view([{"label": "idle", "events": 1, "time": 0.0,
+                             "counters": {}}])["rows"]
+        assert rows[0]["l1_per_read"] == 0.0
 
 
 class TestProfileFold:

@@ -48,20 +48,42 @@ class TestTraceCommand:
         assert rc == 2
         assert "algorithm" in capsys.readouterr().out
 
+    def test_flame_export(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "pull", "--flame",
+                   "--out", str(out)])
+        assert rc == 0
+        assert "flame:" in capsys.readouterr().out
+        folded = (out / "flame.folded").read_text()
+        assert folded, "a traced run must produce stacks"
+        for line in folded.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
     def test_bench_writes_baseline(self, capsys, tmp_path):
         target = tmp_path / "BENCH_trace.json"
         rc = main(["trace", "--bench", "--out", str(target)])
         assert rc == 0
         doc = json.loads(target.read_text())
-        assert doc["schema"] == "repro-bench/1"
+        assert doc["schema"] == "repro-bench/2"
+        assert doc["kind"] == "trace"
         assert len(doc["cells"]) == 12
         for cell in doc["cells"]:
             assert cell["time_mtu"] > 0 and cell["events"]
+            assert cell["phases"] and cell["cut"]["edges_total"] > 0
+            assert cell["counters"]["l1_misses"] > 0
+        perf = json.loads((tmp_path / "BENCH_perf.json").read_text())
+        assert perf["schema"] == "repro-bench/2"
+        assert perf["kind"] == "perf"
+        assert len(perf["cells"]) == 12
+        for cell in perf["cells"]:
+            assert "phases" not in cell and cell["time_mtu"] > 0
 
     def test_bench_matches_committed_baseline(self, tmp_path):
         from pathlib import Path
-        committed = Path(__file__).parent.parent / "BENCH_trace.json"
-        target = tmp_path / "bench.json"
+        root = Path(__file__).parent.parent
+        target = tmp_path / "BENCH_trace.json"
         assert main(["trace", "--bench", "--out", str(target)]) == 0
-        assert json.loads(target.read_text()) == \
-            json.loads(committed.read_text())
+        for name in ("BENCH_trace.json", "BENCH_perf.json"):
+            assert json.loads((tmp_path / name).read_text()) == \
+                json.loads((root / name).read_text())
