@@ -85,6 +85,18 @@ def _build_parser() -> argparse.ArgumentParser:
     an.add_argument("--faults", action="store_true",
                     help="run the chaos suite: DM kernels under seeded "
                          "fault plans with recovery (off by default)")
+    an.add_argument("--effects", action="store_true",
+                    help="run the static effect-inference pass (ANL1xx) "
+                         "over the 17-kernel matrix and reconcile the "
+                         "inferred write sets against dynamic traces "
+                         "(off by default)")
+    an.add_argument("--no-reconcile", action="store_true",
+                    help="with --effects: skip the 12-cell dynamic "
+                         "write-set reconciliation")
+    an.add_argument("--format", default="text", choices=("text", "json"),
+                    help="output format; json emits one machine-readable "
+                         "document over all selected passes "
+                         "(exit codes: 0 clean, 1 findings, 2 usage error)")
     an.add_argument("--fault-seeds", type=int, default=2,
                     help="number of fault-plan seeds per chaos cell")
     an.add_argument("--dataset", default="er",
@@ -256,19 +268,39 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _run_summary(r) -> dict:
+    return {
+        "algorithm": r.algorithm,
+        "direction": getattr(r, "direction", getattr(r, "variant", None)),
+        "ok": r.ok,
+        "races": [str(x) for x in r.report.races],
+    }
+
+
 def _cmd_analyze(args) -> int:
+    """Exit policy, identical across passes and formats: 0 = every
+    selected pass clean, 1 = any pass produced findings/failures,
+    2 = usage or configuration error."""
+    import json as _json
     from pathlib import Path
 
     from repro.analysis.lint import lint_paths
     from repro.analysis.runner import analyze_algorithms
 
     # each flag selects its pass; with none given, run everything except
-    # the chaos suite, which is opt-in (it is a grid of whole-kernel runs)
-    others = args.race or args.dm or args.faults
-    do_lint = args.lint or not others
-    do_race = args.race or not (args.lint or args.dm or args.faults)
-    do_dm = args.dm or not (args.lint or args.race or args.faults)
+    # the chaos suite and effect inference, which are opt-in (grids of
+    # whole-kernel runs)
+    opted = (args.lint, args.race, args.dm, args.faults, args.effects)
+    default_on = not any(opted)
+    do_lint = args.lint or default_on
+    do_race = args.race or default_on
+    do_dm = args.dm or default_on
     do_faults = args.faults
+    do_effects = args.effects
+    as_json = args.format == "json"
+    say = (lambda *a, **k: None) if as_json else print
+    progress = None if as_json else print
+    doc: dict = {"schema": "repro-analyze/1", "passes": {}}
     failed = False
 
     if do_lint:
@@ -279,44 +311,53 @@ def _cmd_analyze(args) -> int:
             return 2
         findings = lint_paths(paths)
         for f in findings:
-            print(f)
-        print(f"lint: {len(findings)} finding(s) over {len(paths)} path(s)")
+            say(f)
+        say(f"lint: {len(findings)} finding(s) over {len(paths)} path(s)")
+        doc["passes"]["lint"] = {
+            "findings": [{"rule": f.rule, "path": f.path, "line": f.line,
+                          "message": f.message} for f in findings],
+            "ok": not findings,
+        }
         failed |= bool(findings)
 
     if do_race:
-        print(f"race detector: 7 algorithms x push/pull, "
-              f"P={args.threads}, {args.dataset} n={args.scale}")
+        say(f"race detector: 7 algorithms x push/pull, "
+            f"P={args.threads}, {args.dataset} n={args.scale}")
         try:
             runs = analyze_algorithms(
                 n=args.scale, P=args.threads, seed=args.seed,
                 slack=args.slack, algorithms=args.algorithms,
-                dataset=args.dataset, progress=print)
+                dataset=args.dataset, progress=progress)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
         bad = [r for r in runs if not r.ok]
         for r in bad:
-            print(r.check)
+            say(r.check)
             for race in r.report.races[:8]:
-                print("  " + str(race))
-        print(f"race: {len(bad)} failing cell(s) of {len(runs)}")
+                say("  " + str(race))
+        say(f"race: {len(bad)} failing cell(s) of {len(runs)}")
+        doc["passes"]["race"] = {"cells": [_run_summary(r) for r in runs],
+                                 "ok": not bad}
         failed |= bool(bad)
 
     if do_dm:
         from repro.analysis.dm_runner import analyze_dm
 
         n_dm = min(args.scale, 96) if not args.dm else args.scale
-        print(f"epoch checker: 4 DM kernels x backends, "
-              f"P={args.threads}, {args.dataset} n={n_dm}")
+        say(f"epoch checker: 4 DM kernels x backends, "
+            f"P={args.threads}, {args.dataset} n={n_dm}")
         runs = analyze_dm(n=n_dm, P=args.threads, seed=args.seed,
                           slack=args.slack, dataset=args.dataset,
-                          progress=print)
+                          progress=progress)
         bad = [r for r in runs if not r.ok]
         for r in bad:
-            print(r.check)
+            say(r.check)
             for race in r.report.races[:8]:
-                print("  " + str(race))
-        print(f"dm: {len(bad)} failing cell(s) of {len(runs)}")
+                say("  " + str(race))
+        say(f"dm: {len(bad)} failing cell(s) of {len(runs)}")
+        doc["passes"]["dm"] = {"cells": [_run_summary(r) for r in runs],
+                               "ok": not bad}
         failed |= bool(bad)
 
     if do_faults:
@@ -326,20 +367,63 @@ def _cmd_analyze(args) -> int:
 
         n_f = min(args.scale, 96)
         seeds = tuple(range(max(1, args.fault_seeds)))
-        print(f"chaos suite: 4 DM kernels x backends x fault plans, "
-              f"P={args.threads}, {args.dataset} n={n_f}, "
-              f"{len(seeds)} fault seed(s)")
+        say(f"chaos suite: 4 DM kernels x backends x fault plans, "
+            f"P={args.threads}, {args.dataset} n={n_f}, "
+            f"{len(seeds)} fault seed(s)")
         runs = analyze_faults(n=n_f, P=args.threads, seed=args.seed,
                               dataset=args.dataset, fault_seeds=seeds,
-                              progress=print)
+                              progress=progress)
         bad = [r for r in runs if not r.ok]
         for r in bad:
             for race in r.races:
-                print("  " + race)
-        print(format_overhead_table(runs))
-        print(f"faults: {len(bad)} failing run(s) of {len(runs)}")
+                say("  " + race)
+        say(format_overhead_table(runs))
+        say(f"faults: {len(bad)} failing run(s) of {len(runs)}")
+        doc["passes"]["faults"] = {
+            "runs": [{"algorithm": r.algorithm, "variant": r.variant,
+                      "plan": r.plan_name, "seed": r.seed, "ok": r.ok,
+                      "races": [str(x) for x in r.races]}
+                     for r in runs],
+            "ok": not bad,
+        }
         failed |= bool(bad)
 
+    if do_effects:
+        from repro.analysis.effect_report import render_text, report_to_json
+        from repro.analysis.effects import analyze_effects
+        from repro.observability.footprint import reconcile_effects
+
+        say(f"effect inference: 17 kernels (SM+DM), rules ANL101-ANL105")
+        report = analyze_effects()
+        say(render_text(report), end="")
+        effects_failed = not report.ok
+        entry = {"report": report_to_json(report), "ok": report.ok}
+        if not args.no_reconcile:
+            say("reconciling static write sets against dynamic traces "
+                "(12 cells)...")
+            cells = reconcile_effects(
+                report=report, P=args.threads,
+                progress=None if as_json else (
+                    lambda a, v, d: print(
+                        f"  .. {a} {v} [{'dm' if d else 'sm'}]")))
+            bad_cells = [c for c in cells if not c.ok]
+            for c in bad_cells:
+                say(f"  RECONCILE FAIL {c.algorithm}/{c.variant} "
+                    f"[{'dm' if c.dm else 'sm'}]: traced writes "
+                    f"{c.missing} not in the static write set")
+            say(f"reconcile: {len(bad_cells)} failing cell(s) of "
+                f"{len(cells)}")
+            entry["reconcile"] = [c.to_json() for c in cells]
+            entry["ok"] = entry["ok"] and not bad_cells
+            effects_failed |= bool(bad_cells)
+        say(f"effects: {len(report.errors())} error(s), "
+            f"{len(report.advice())} advisory finding(s)")
+        doc["passes"]["effects"] = entry
+        failed |= effects_failed
+
+    doc["ok"] = not failed
+    if as_json:
+        print(_json.dumps(doc, indent=2))
     return 1 if failed else 0
 
 

@@ -118,7 +118,10 @@ def prim_mst(g: CSRGraph, rt: SMRuntime, direction: str = PUSH) -> PrimResult:
                 tgt = ws[improving]
                 if len(tgt) == 0:
                     return
-                # remote (key, parent) update: CAS-min per improving edge
+                # remote (key, parent) update: CAS-min per improving edge.
+                # Each neighbor w appears once in N(u) and the chunks
+                # partition N(u), so parent writers never collide.
+                # effects: disjoint-writers prim.parent
                 mem.cas(key_h, idx=tgt, mode="rand")
                 mem.write(par_h, idx=tgt, mode="rand")
                 np.minimum.at(key, tgt, wts[chunk][improving])

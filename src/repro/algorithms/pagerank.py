@@ -85,6 +85,7 @@ def pagerank(g: CSRGraph, rt: SMRuntime, direction: str = PULL,
     deg_h = mem.register("pr.deg", deg)
     # per-thread accumulator slices for the PA local phase: physically the
     # same memory as ``acc`` but the thread's working set is only its block
+    # effects: alias pr.acc.block* -> pr.acc
     slice_hs = [
         mem.register(f"pr.acc.block{t}", max(rt.part.size(t), 1), 8)
         for t in range(rt.P)

@@ -338,6 +338,16 @@ class _ModuleIndex(ast.NodeVisitor):
             enc = self._enclosing()
             if enc is not None:
                 self.calls_in.setdefault(id(enc), set()).add(f.id)
+        # functools.partial(helper, ...) makes the enclosing function a
+        # caller of ``helper`` even though ``helper`` is an argument, not
+        # the callee -- without this, a non-barriering partial-wrapping
+        # caller is invisible to ANL004's all-callers check
+        if (_callee_name(f) == "partial" and node.args
+                and isinstance(node.args[0], ast.Name)):
+            enc = self._enclosing()
+            if enc is not None:
+                self.calls_in.setdefault(id(enc), set()).add(
+                    node.args[0].id)
         if isinstance(f, ast.Attribute):
             if f.attr in REGION_METHODS:
                 pos = REGION_METHODS[f.attr]
@@ -373,6 +383,14 @@ class _ModuleIndex(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _callee_name(f: ast.AST) -> str | None:
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
 def _resolve_body(body_expr: ast.AST, scopes: list[dict]):
     """The FunctionDef a region's body argument refers to, if traceable."""
     if isinstance(body_expr, ast.Name):
@@ -388,6 +406,11 @@ def _resolve_body(body_expr: ast.AST, scopes: list[dict]):
                 if body_expr.body.func.id in scope:
                     return scope[body_expr.body.func.id]
         return body_expr
+    # unwrap `functools.partial(body_fn, ...)` region bodies
+    if (isinstance(body_expr, ast.Call)
+            and _callee_name(body_expr.func) == "partial"
+            and body_expr.args):
+        return _resolve_body(body_expr.args[0], scopes)
     return None
 
 

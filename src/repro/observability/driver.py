@@ -72,7 +72,8 @@ def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
 def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
                faults: bool = False, dataset: str = "er", n: int = 96,
                P: int = 4, seed: int = 7, iterations: int = 5,
-               fault_seed: int = 1, cache_scale: int = DEFAULT_CACHE_SCALE):
+               fault_seed: int = 1, cache_scale: int = DEFAULT_CACHE_SCALE,
+               attach=None):
     """Run one kernel under a fresh tracer.
 
     Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
@@ -80,6 +81,9 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     ``cache_scale`` swaps in the trace-driven cache simulator (scaled
     down by that factor) so span deltas carry cache/TLB miss counters;
     ``cache_scale=0`` keeps the runtime's flat counting memory.
+    ``attach``, when given, is called with the fully equipped runtime
+    right before dispatch -- the hook the effect-inference layer uses to
+    install its dynamic write-footprint recorder.
     """
     from repro.analysis.runner import instance_graph
     if faults and not dm:
@@ -99,6 +103,8 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     if faults:
         from repro.runtime.faults import attach_fault_injector
         attach_fault_injector(rt, default_fault_plan(fault_seed))
+    if attach is not None:
+        attach(rt)
     resolved, result = _dispatch(algorithm, variant, g, rt, dm, iterations)
     return rt, tracer, resolved, result
 

@@ -1,0 +1,137 @@
+"""Dynamic write-footprint recording for static/dynamic reconciliation.
+
+The effect-inference pass (:mod:`repro.analysis.effects`) claims, per
+kernel, the set of registered arrays the kernel may write.  This module
+checks that claim against reality, in the spirit of
+``Tracer.reconcile``: a :class:`FootprintRecorder` wraps the runtime's
+declared store verbs (``mem.write`` / ``cas`` / ``faa`` / ``lock``,
+plus the DM data-carrying RMA verbs ``rt.put`` / ``rt.accumulate``) and
+collects every array name actually written during a traced run.  The
+static write set must be a **superset** of the dynamic one -- static
+analysis may over-approximate (an IfExp handle resolves to both arms)
+but may never miss a write.
+
+Installed through ``run_traced(..., attach=recorder.install)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _handle_name(handle) -> str:
+    return str(getattr(handle, "name", handle))
+
+
+class FootprintRecorder:
+    """Collects the names of arrays written through declared verbs."""
+
+    def __init__(self) -> None:
+        self.written: set[str] = set()
+        self.windows: set[str] = set()
+
+    def install(self, rt) -> None:
+        """Wrap the runtime's store verbs in place (instance attributes
+        shadow the bound methods; the originals are closed over)."""
+        mem = rt.mem
+        recorder = self
+
+        for verb in ("write", "cas", "faa", "lock"):
+            orig = getattr(mem, verb)
+
+            def wrapped(handle, *args, _orig=orig, **kwargs):
+                recorder.written.add(_handle_name(handle))
+                for pair in (kwargs.get("covers") or ()):
+                    try:
+                        recorder.written.add(_handle_name(pair[0]))
+                    except (TypeError, IndexError):
+                        pass
+                return _orig(handle, *args, **kwargs)
+
+            setattr(mem, verb, wrapped)
+
+        for verb in ("put", "accumulate"):
+            orig = getattr(rt, verb, None)
+            if orig is None:
+                continue
+
+            def wrapped_rma(owner, vals, *args, _orig=orig, **kwargs):
+                win = kwargs.get("window")
+                if win is not None:
+                    recorder.windows.add(_handle_name(win))
+                return _orig(owner, vals, *args, **kwargs)
+
+            setattr(rt, verb, wrapped_rma)
+
+
+@dataclass
+class ReconcileCell:
+    """One (algorithm, variant, runtime) cell of the reconciliation."""
+
+    algorithm: str
+    variant: str
+    dm: bool
+    kernel: str
+    traced: list[str] = field(default_factory=list)
+    static: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)   # traced but not claimed
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing
+
+    def to_json(self) -> dict:
+        return {"algorithm": self.algorithm, "variant": self.variant,
+                "runtime": "dm" if self.dm else "sm", "kernel": self.kernel,
+                "traced": self.traced, "missing": self.missing,
+                "ok": self.ok}
+
+
+#: traced cell -> effect-matrix kernel name
+_CELL_KERNELS = {
+    ("pagerank", False): "pagerank",
+    ("bfs", False): "bfs",
+    ("sssp", False): "sssp_delta",
+    ("pagerank", True): "dm_pagerank",
+    ("bfs", True): "dm_bfs",
+    ("sssp", True): "dm_sssp_delta",
+}
+
+
+def reconcile_effects(report=None, n: int = 96, P: int = 4,
+                      iterations: int = 3, progress=None
+                      ) -> list[ReconcileCell]:
+    """Run the 12-cell trace matrix with a footprint recorder and check
+    each kernel's static write set covers what was dynamically written.
+
+    Runs with ``cache_scale=0``: the recorder's verb wrappers are plain
+    instance attributes, and flat counting memory keeps the run cheap.
+    """
+    import fnmatch
+
+    from repro.analysis.effects import analyze_effects
+    from repro.observability.driver import run_traced
+
+    if report is None:
+        report = analyze_effects()
+    cells: list[ReconcileCell] = []
+    for (algorithm, dm), kernel in _CELL_KERNELS.items():
+        for variant in ("push", "pull"):
+            if progress is not None:
+                progress(algorithm, variant, dm)
+            rec = FootprintRecorder()
+            run_traced(algorithm, variant=variant, dm=dm, n=n, P=P,
+                       iterations=iterations, cache_scale=0,
+                       attach=rec.install)
+            keff = report.kernels[kernel]
+            claimed = set(keff.write_set) | set(keff.windows)
+            traced = rec.written | rec.windows
+            missing = sorted(
+                name for name in traced
+                if not any(fnmatch.fnmatchcase(name, pat)
+                           for pat in claimed))
+            cells.append(ReconcileCell(
+                algorithm=algorithm, variant=variant, dm=dm, kernel=kernel,
+                traced=sorted(traced), static=sorted(claimed),
+                missing=missing))
+    return cells

@@ -218,6 +218,71 @@ def fused(rt, mem, h):
 """
         assert _rules(lint_source(src)) == {"ANL004"}
 
+    def test_anl004_partial_caller_without_barrier_flagged(self):
+        # a caller that only *references* the helper through
+        # functools.partial is still a caller for the all-callers check
+        src = """
+def fused(rt, mem, h, alpha):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h, schedule):
+    step = partial(fused, rt, mem, h)
+    schedule(step)
+"""
+        assert _rules(lint_source(src)) == {"ANL004"}
+
+    def test_anl004_partial_caller_with_barrier_suffices(self):
+        src = """
+def fused(rt, mem, h, alpha):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h, schedule):
+    step = partial(fused, rt, mem, h)
+    schedule(step)
+    rt.barrier()
+"""
+        assert lint_source(src) == []
+
+    def test_anl004_lambda_caller_without_barrier_flagged(self):
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h, schedule):
+    schedule(lambda: fused(rt, mem, h))
+"""
+        assert _rules(lint_source(src)) == {"ANL004"}
+
+    def test_anl004_lambda_caller_with_barrier_suffices(self):
+        src = """
+def fused(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body, barrier=False)
+
+def kernel(rt, mem, h, schedule):
+    schedule(lambda: fused(rt, mem, h))
+    rt.barrier()
+"""
+        assert lint_source(src) == []
+
+    def test_partial_wrapped_region_body_is_resolved(self):
+        # rt.for_each_thread(partial(helper, ...)) must unwrap to the
+        # helper so body rules still apply
+        src = """
+def kernel(rt, mem, h, shared):
+    def helper(alpha, lo, hi):
+        shared[lo:hi] = alpha
+    rt.for_each_thread(partial(helper, 2.0))
+"""
+        assert _rules(lint_source(src)) == {"ANL001"}
+
     def test_lambda_trampoline_is_resolved(self):
         src = """
 def kernel(rt, mem, h, shared):
