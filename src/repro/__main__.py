@@ -118,11 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run one kernel under the tracer and export "
              "Chrome-trace/JSONL/metrics views")
     tr.add_argument("algorithm", nargs="?", default=None,
-                    choices=("pagerank", "bfs", "sssp"))
+                    choices=("pagerank", "bfs", "sssp", "cc"))
     tr.add_argument("--variant", default="push",
                     choices=("push", "pull", "push-pa", "switching", "mp"),
                     help="push/pull everywhere; push-pa (SM pagerank), "
                          "switching (bfs), mp (DM pagerank)")
+    tr.add_argument("--engine", default="interpreted",
+                    choices=("interpreted", "batched"),
+                    help="batched = stream-emitting kernels "
+                         "(repro.streams); byte-identical counters, "
+                         "far less Python dispatch")
     tr.add_argument("--dm", action="store_true",
                     help="run on the distributed-memory runtime")
     tr.add_argument("--faults", action="store_true",
@@ -344,7 +349,12 @@ def _cmd_analyze(args) -> int:
     if do_dm:
         from repro.analysis.dm_runner import analyze_dm
 
-        n_dm = min(args.scale, 96) if not args.dm else args.scale
+        from repro.harness.config import clamped_scale
+        n_dm = (clamped_scale(args.scale, 96,
+                              reason="the default full-analysis DM pass "
+                                     "caps its epoch grid; pass --dm to "
+                                     "run the requested scale")
+                if not args.dm else args.scale)
         say(f"epoch checker: 4 DM kernels x backends, "
             f"P={args.threads}, {args.dataset} n={n_dm}")
         runs = analyze_dm(n=n_dm, P=args.threads, seed=args.seed,
@@ -365,7 +375,10 @@ def _cmd_analyze(args) -> int:
             analyze_faults, format_overhead_table,
         )
 
-        n_f = min(args.scale, 96)
+        from repro.harness.config import clamped_scale
+        n_f = clamped_scale(args.scale, 96,
+                            reason="the chaos suite replays whole kernel "
+                                   "grids per fault seed")
         seeds = tuple(range(max(1, args.fault_seeds)))
         say(f"chaos suite: 4 DM kernels x backends x fault plans, "
             f"P={args.threads}, {args.dataset} n={n_f}, "
@@ -400,7 +413,7 @@ def _cmd_analyze(args) -> int:
         entry = {"report": report_to_json(report), "ok": report.ok}
         if not args.no_reconcile:
             say("reconciling static write sets against dynamic traces "
-                "(12 cells)...")
+                "(14 cells)...")
             cells = reconcile_effects(
                 report=report, P=args.threads,
                 progress=None if as_json else (

@@ -76,6 +76,8 @@ def connected_components(g: CSRGraph, rt: SMRuntime, direction: str = PUSH,
         changed_frags: list[np.ndarray] = []
 
         if direction == PUSH:
+            rt.annotate("cc.push")
+
             def body(t: int, vs: np.ndarray) -> None:
                 pos = gather_edge_positions(g.offsets, vs)
                 if len(vs):
@@ -104,6 +106,8 @@ def connected_components(g: CSRGraph, rt: SMRuntime, direction: str = PUSH,
 
             rt.parallel_for(active, body, by_owner=True)
         else:
+            rt.annotate("cc.pull")
+
             def body(t: int, vs: np.ndarray) -> None:
                 if len(vs) == 0:
                     return
@@ -140,6 +144,8 @@ def connected_components(g: CSRGraph, rt: SMRuntime, direction: str = PUSH,
             rt.for_each_thread(body)
 
         if pointer_jumping:
+            rt.annotate("cc.jump")
+
             def jump(t: int, vs: np.ndarray) -> None:
                 if len(vs) == 0:
                     return
@@ -161,7 +167,15 @@ def connected_components(g: CSRGraph, rt: SMRuntime, direction: str = PUSH,
         # sweep is global but terminates on quiescence
         active_mask[:] = False
         active_mask[active] = True
-        mem.write(active_h, idx=active, mode="rand")
+
+        # the frontier bitmap write used to happen outside any region,
+        # invisible to the tracer (and unattributable in reconcile);
+        # run it as an annotated sequential phase instead
+        def frontier_write() -> None:
+            mem.write(active_h, idx=active, mode="rand")
+
+        rt.annotate("cc.frontier")
+        rt.sequential(frontier_write)
         iteration_times.append(rt.time - t0)
 
     return CCResult(

@@ -221,6 +221,14 @@ class _BodyScan(ast.NodeVisitor):
                 self.decls.append((f.attr, node.lineno, self._ctx))
             elif f.attr == "owned_write_check":
                 self.ownership_checks.append((node.lineno, self._ctx))
+        elif isinstance(f, ast.Name) and f.id in ("rand_op", "seq_op"):
+            # stream-op constructors (repro.streams.ops): the verb is
+            # the first positional arg; a store verb declares the store
+            # just like the equivalent mem.<verb> call would
+            if (node.args and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value in STORE_DECLS):
+                self.decls.append((node.args[0].value, node.lineno,
+                                   self._ctx))
         self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -1,21 +1,31 @@
-"""The committed perf baselines (schema ``repro-bench/2``).
+"""The committed perf baselines (schema ``repro-bench/3``).
 
-A deterministic small-graph sweep -- PR / BFS / SSSP x push / pull x
-SM / DM on one seeded ER instance -- each cell run under a tracer with
-the trace-driven cache simulation equipped
-(:func:`repro.observability.hwcounters.equip_cache_sim`), so the
-baseline records, per Table-1/Table-3 cell:
+Two cell families derived from one sweep:
 
-* the end-to-end simulated ``time_mtu`` and nonzero counter totals,
-  now **including the L1/L2/L3/TLB miss columns** of the paper's
-  Table 1;
-* the per-phase breakdown (``rt.annotate`` labels with their time and
-  counter aggregates) -- the attribution surface ``repro bench diff``
-  points at when a metric drifts;
-* the partition edge-cut next to the communication verb counts (DM
-  cells' traffic is chargeable against the cut,
-  :func:`repro.analysis.crosscheck.dm_crosscheck`);
-* the event-kind counts (trace shape).
+* **baseline** -- the original deterministic small-graph grid: PR /
+  BFS / SSSP x push / pull x SM / DM on one seeded ER instance, each
+  cell run under a tracer with the trace-driven cache simulation
+  equipped (:func:`repro.observability.hwcounters.equip_cache_sim`),
+  so the baseline records, per Table-1/Table-3 cell:
+
+  - the end-to-end simulated ``time_mtu`` and nonzero counter totals,
+    **including the L1/L2/L3/TLB miss columns** of the paper's Table 1;
+  - the per-phase breakdown (``rt.annotate`` labels with their time and
+    counter aggregates) -- the attribution surface ``repro bench diff``
+    points at when a metric drifts;
+  - the partition edge-cut next to the communication verb counts;
+  - the event-kind counts (trace shape).
+
+  The family runs under either engine (``--engine batched`` swaps in
+  the stream kernels); the counters are certified byte-identical, so
+  ``repro bench diff`` at zero tolerance against an
+  interpreted-generated baseline is the batched engine's drift gate.
+
+* **large** -- a 100x-scale grid (PR / BFS / SSSP / CC x push / pull,
+  SM) that only the batched engine can sweep in reasonable time; it
+  runs with the analytic miss model (``cache_scale=0``) and pins down
+  the batched engine's behavior at a size where per-element Python
+  dispatch would dominate.
 
 Two documents are derived from one sweep: ``BENCH_trace.json`` (the
 full baseline above) and ``BENCH_perf.json`` (the runtime-focused
@@ -32,15 +42,22 @@ import json
 import os
 
 #: versioned schema tag of the baseline files
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
-#: the sweep grid: (algorithm, variant) x (sm, dm)
+#: the baseline-family grid: (algorithm, variant) x (sm, dm)
 BENCH_ALGORITHMS = ("pagerank", "bfs", "sssp")
 BENCH_VARIANTS = ("push", "pull")
 
-#: one deterministic instance for every cell
+#: one deterministic instance for every baseline cell
 BENCH_CONFIG = {"dataset": "er", "n": 96, "P": 4, "seed": 7,
                 "iterations": 5, "cache_scale": 64}
+
+#: the large-family grid (SM only; always the batched engine)
+LARGE_ALGORITHMS = ("pagerank", "bfs", "sssp", "cc")
+
+#: 100x the baseline vertex count; analytic miss model (cache_scale=0)
+LARGE_CONFIG = {"dataset": "er", "n": 9600, "P": 4, "seed": 7,
+                "iterations": 5, "cache_scale": 0}
 
 #: headline counters of the BENCH_perf.json runtime rollup
 PERF_COUNTERS = (
@@ -52,47 +69,71 @@ PERF_COUNTERS = (
 )
 
 
-def bench_sweep() -> dict:
-    """Run the full grid; returns the ``BENCH_trace.json`` document."""
+def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
+              family: str, engine: str) -> dict:
     from repro.observability.driver import run_traced
     from repro.observability.export import metrics_rollup
 
+    rt, tracer, resolved, _ = run_traced(
+        algorithm, variant=variant, dm=(runtime == "dm"),
+        dataset=config["dataset"], n=config["n"],
+        P=config["P"], seed=config["seed"],
+        iterations=config["iterations"],
+        cache_scale=config["cache_scale"], engine=engine)
+    traced, actual = tracer.reconcile()
+    if traced.to_dict() != actual.to_dict():
+        raise RuntimeError(
+            f"bench cell {algorithm}/{variant}/{runtime}/{family} "
+            f"[{engine}]: tracer reconciliation failed")
+    totals = tracer.traced_totals()
+    kinds: dict[str, int] = {}
+    for ev in tracer.events:
+        kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+    rollup = metrics_rollup(tracer)
+    phases = [{
+        "label": p["label"],
+        "events": p["events"],
+        "time_mtu": p["time"],
+        "counters": p["counters"],
+    } for p in rollup["phases"]]
+    return {
+        "algorithm": algorithm,
+        "variant": variant,
+        "resolved_variant": resolved,
+        "runtime": runtime,
+        "family": family,
+        "engine": engine,
+        "machine": getattr(rt.machine, "name", "?"),
+        "time_mtu": rt.time,
+        "counters": {k: v for k, v in totals.to_dict().items() if v},
+        "phases": phases,
+        "cut": tracer.cut,
+        "events": kinds,
+    }
+
+
+def bench_sweep(engine: str = "interpreted") -> dict:
+    """Run the full grid; returns the ``BENCH_trace.json`` document.
+
+    ``engine`` selects the execution engine of the *baseline* family
+    (DM cells are an exact passthrough either way); the large family
+    always runs batched -- it exists to exercise the batched engine at
+    a scale the interpreted kernels cannot sweep quickly.
+    """
     cells = []
     for algorithm in BENCH_ALGORITHMS:
         for variant in BENCH_VARIANTS:
             for runtime in ("sm", "dm"):
-                rt, tracer, resolved, _ = run_traced(
-                    algorithm, variant=variant, dm=(runtime == "dm"),
-                    dataset=BENCH_CONFIG["dataset"], n=BENCH_CONFIG["n"],
-                    P=BENCH_CONFIG["P"], seed=BENCH_CONFIG["seed"],
-                    iterations=BENCH_CONFIG["iterations"],
-                    cache_scale=BENCH_CONFIG["cache_scale"])
-                totals = tracer.traced_totals()
-                kinds: dict[str, int] = {}
-                for ev in tracer.events:
-                    kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
-                rollup = metrics_rollup(tracer)
-                phases = [{
-                    "label": p["label"],
-                    "events": p["events"],
-                    "time_mtu": p["time"],
-                    "counters": p["counters"],
-                } for p in rollup["phases"]]
-                cells.append({
-                    "algorithm": algorithm,
-                    "variant": variant,
-                    "resolved_variant": resolved,
-                    "runtime": runtime,
-                    "machine": getattr(rt.machine, "name", "?"),
-                    "time_mtu": rt.time,
-                    "counters": {k: v for k, v in totals.to_dict().items()
-                                 if v},
-                    "phases": phases,
-                    "cut": tracer.cut,
-                    "events": kinds,
-                })
+                cells.append(_run_cell(algorithm, variant, runtime,
+                                       BENCH_CONFIG, "baseline", engine))
+    for algorithm in LARGE_ALGORITHMS:
+        for variant in BENCH_VARIANTS:
+            cells.append(_run_cell(algorithm, variant, "sm",
+                                   LARGE_CONFIG, "large", "batched"))
     return {"schema": BENCH_SCHEMA, "kind": "trace",
-            "config": dict(BENCH_CONFIG), "cells": cells}
+            "config": {"baseline": dict(BENCH_CONFIG),
+                       "large": dict(LARGE_CONFIG)},
+            "cells": cells}
 
 
 def perf_rollup(doc: dict) -> dict:
@@ -101,6 +142,7 @@ def perf_rollup(doc: dict) -> dict:
         "algorithm": c["algorithm"],
         "variant": c["variant"],
         "runtime": c["runtime"],
+        "family": c["family"],
         "time_mtu": c["time_mtu"],
         "counters": {k: c["counters"][k] for k in PERF_COUNTERS
                      if c["counters"].get(k)},
@@ -116,7 +158,7 @@ def _write_json(doc: dict, path: str) -> str:
     return path
 
 
-def write_bench(out: str) -> dict:
+def write_bench(out: str, engine: str = "interpreted") -> dict:
     """Write both baselines; returns ``{"trace": path, "perf": path}``.
 
     ``out`` is the target ``.json`` file for the trace baseline (or a
@@ -127,7 +169,7 @@ def write_bench(out: str) -> dict:
     if not out.endswith(".json"):
         path = os.path.join(out, "BENCH_trace.json")
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    doc = bench_sweep()
+    doc = bench_sweep(engine=engine)
     perf_path = os.path.join(os.path.dirname(path) or ".", "BENCH_perf.json")
     return {"trace": _write_json(doc, path),
             "perf": _write_json(perf_rollup(doc), perf_path)}

@@ -9,11 +9,32 @@ out-of-cache regime as the paper's full-size graphs (DESIGN.md §2).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.machine.cost_model import MachineSpec, XC30
 from repro.machine.memory import CacheSimMemory, CountingMemory
 from repro.runtime.sm import SMRuntime
+
+
+def clamped_scale(requested: int, cap: int, *, reason: str) -> int:
+    """Clamp a requested problem scale to ``cap``, loudly.
+
+    Several harness entry points cap the instance size they will build
+    (quadratic kernels, DM epoch grids).  Those caps used to be silent
+    ``min(scale, cap)`` expressions -- a user asking for ``--scale 20``
+    got a scale-11 run with no indication anything was ignored.  All
+    cap sites now route through here so the clamp is explicit: the
+    requested value is honored when it fits, otherwise a
+    ``RuntimeWarning`` names the cap and why it exists.
+    """
+    if requested <= cap:
+        return requested
+    warnings.warn(
+        f"requested scale {requested} exceeds the cap {cap} ({reason}); "
+        f"running at {cap}",
+        RuntimeWarning, stacklevel=2)
+    return cap
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ import numpy as np
 from repro.algorithms.bfs import bfs
 from repro.algorithms.pagerank import pagerank
 from repro.generators.registry import load_dataset
-from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.config import DEFAULT, ExperimentConfig, clamped_scale
 from repro.harness.tables import ExperimentResult
 from repro.la.matrix import adjacency_matrices
 from repro.la.semiring import OR_AND
@@ -86,7 +86,9 @@ def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
               0.5 < sched_times["dynamic"] / sched_times["static"] < 2.0)
 
     # --- (d) SpMSpV frontier sparsity -------------------------------------------------
-    g = load_dataset("am", scale=min(config.scale, 11), seed=config.seed)
+    g = load_dataset("am", scale=clamped_scale(
+        config.scale, 11, reason="SpMSpV sweep runs dense CSR products"),
+        seed=config.seed)
     csr, csc = adjacency_matrices(g)
     rng = np.random.default_rng(config.seed)
     rows = []

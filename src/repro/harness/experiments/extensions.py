@@ -20,7 +20,7 @@ from repro.graph.partition import Partition1D
 from repro.graph.partition_strategies import (
     HashPartition, LocalityPartition, edge_cut,
 )
-from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.config import DEFAULT, ExperimentConfig, clamped_scale
 from repro.harness.tables import ExperimentResult
 from repro.machine.contention import contention_profile, effective_atomic_cost
 from repro.runtime.dm import DMRuntime
@@ -67,8 +67,9 @@ def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
               np.array_equal(cc[False].labels, cc[True].labels))
 
     # --- X4: weighted BC ------------------------------------------------------------
-    gw2 = load_dataset("ljn", scale=min(scale, 9), seed=config.seed,
-                       weighted=True)
+    gw2 = load_dataset("ljn", scale=clamped_scale(
+        scale, 9, reason="weighted BC is O(n·m log n)"),
+        seed=config.seed, weighted=True)
     wbc = {}
     for d in ("push", "pull"):
         rt = config.sm_runtime(gw2)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.algorithms.dm_pagerank import dm_pagerank
 from repro.algorithms.dm_triangle import dm_triangle_count
 from repro.generators.registry import load_dataset
-from repro.harness.config import DEFAULT, ExperimentConfig
+from repro.harness.config import DEFAULT, ExperimentConfig, clamped_scale
 from repro.harness.tables import ExperimentResult
 from repro.runtime.dm import DMRuntime
 
@@ -39,8 +39,9 @@ def run(config: ExperimentConfig = DEFAULT) -> ExperimentResult:
                          **{f"P={P}": t for P, t in zip(P_SWEEP, times)}})
 
     # --- Triangle Counting on the rmat graph (smaller scale: O(m·d̂)) -----------
-    g_tc = load_dataset("rmat", scale=min(config.scale_tc, 10),
-                        seed=config.seed)
+    g_tc = load_dataset("rmat", scale=clamped_scale(
+        config.scale_tc, 10, reason="triangle counting is O(m·d̂)"),
+        seed=config.seed)
     tc = {}
     for variant in ("mp", "rma-push", "rma-pull"):
         times = []

@@ -88,6 +88,72 @@ def spmspv_csr(A: CSRMatrix, x_idx: np.ndarray, x_val: np.ndarray,
     return (np.asarray(out_idx, dtype=np.int64), np.asarray(out_val), ops)
 
 
+# -- batched-kernel primitives ------------------------------------------------
+# The stream-emitting kernels (repro.streams.kernels) evaluate whole
+# CSR/CSC blocks as one semiring product instead of looping rows in
+# Python.  These helpers are the vectorized row/column reductions they
+# are built from; each documents the per-element loop it replaces.
+
+def segment_reduce(sr: Semiring, vals: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    """Per-row semiring add-reduction of a CSR block's products.
+
+    Equivalent to ``[sr.add_reduce(vals[s:e]) for s, e in zip(starts,
+    ends)]`` for contiguous segments tiling ``vals``; empty rows yield
+    ``sr.zero``.  Wraps ``sr.add.reduceat``, which would otherwise
+    return the element *at* an empty segment's start.
+    """
+    k = len(starts)
+    dtype = vals.dtype if vals.dtype.kind == "f" else np.float64
+    out = np.full(k, sr.zero, dtype=dtype)
+    nonempty = np.asarray(ends) > np.asarray(starts)
+    if vals.size and nonempty.any():
+        out[nonempty] = sr.add.reduceat(vals, np.asarray(starts)[nonempty])
+    return out
+
+
+def masked_first_hit(flags: np.ndarray, seg: np.ndarray) -> np.ndarray:
+    """Per-segment index of the first True flag, -1 when none.
+
+    The SpMSpV-with-early-exit primitive of pull-BFS: row i's product
+    over the boolean semiring is nonzero iff some masked entry hits,
+    and the *short-circuit* evaluation stops at the first hit -- this
+    returns where each row's scan would stop.  ``seg`` is the segment
+    offset array (``len(seg) == nrows + 1``) tiling ``flags``.
+    """
+    seg = np.asarray(seg, dtype=np.int64)
+    sizes = np.diff(seg)
+    out = np.full(len(sizes), -1, dtype=np.int64)
+    flags = np.asarray(flags)
+    if flags.size == 0 or not sizes.any():
+        return out
+    big = np.int64(flags.size)
+    cand = np.where(flags, np.arange(flags.size, dtype=np.int64), big)
+    nz = sizes > 0
+    first_abs = np.minimum.reduceat(cand, seg[:-1][nz])
+    hit = first_abs < big
+    idx_nz = np.flatnonzero(nz)
+    out[idx_nz[hit]] = first_abs[hit] - seg[:-1][nz][hit]
+    return out
+
+
+def first_claim(targets: np.ndarray, eligible: np.ndarray) -> np.ndarray:
+    """Positions winning a write-once combining scatter (CSC push claim).
+
+    Given the concatenated edge targets of a frontier block (in issue
+    order) and an eligibility mask, returns the sorted positions of the
+    *first* eligible occurrence of each distinct target -- exactly the
+    CAS claims that succeed when the block's vertices run one after
+    another, since a claimed target is ineligible for every later edge.
+    """
+    targets = np.asarray(targets)
+    pos = np.flatnonzero(eligible)
+    if pos.size == 0:
+        return pos
+    _, fi = np.unique(targets[pos], return_index=True)
+    return np.sort(pos[fi])
+
+
 def spmspv_csc(A: CSCMatrix, x_idx: np.ndarray, x_val: np.ndarray,
                sr: Semiring) -> tuple[np.ndarray, np.ndarray, OpCount]:
     """Sparse-vector product in CSC (pushing): zero columns are skipped."""

@@ -236,22 +236,31 @@ class CountingMemory(MemoryModel):
     array; a ``rand`` access misses with probability
     ``max(0, 1 - level_size / array_bytes)`` at each level (the chance
     that a uniformly random line of the array is not cached), and
-    analogously for the TLB over pages.  Miss fractions accumulate as
-    floats and are rounded into the integer counters.
+    analogously for the TLB over pages.
+
+    Miss fractions are quantized onto a fixed-point ``2**-20`` grid and
+    accumulated as *integers*: integer addition is associative, so the
+    totals are independent of how accesses are grouped into calls.
+    This is what lets the batched stream engine (:mod:`repro.streams`)
+    compute per-segment contributions vectorized and land on counters
+    byte-identical to the per-call interpreter.
     """
+
+    #: fixed-point quantum (as a float multiplier) for miss accumulation
+    _QUANTUM = float(1 << 20)
 
     def __init__(self, hierarchy: CacheHierarchySpec | None = None) -> None:
         super().__init__()
         self.hier = hierarchy or CacheHierarchySpec()
         self._line = self.hier.l1.line_bytes
-        # float accumulators, flushed into integer counters lazily
+        # integer fixed-point accumulators, flushed into counters lazily
         self._acc: dict[int, list] = {}
 
     def _acc_for(self, counters: PerfCounters) -> list:
         key = id(counters)
         acc = self._acc.get(key)
         if acc is None:
-            acc = [0.0, 0.0, 0.0, 0.0, counters]  # l1, l2, l3, tlb
+            acc = [0, 0, 0, 0, counters]  # l1, l2, l3, tlb (in quanta)
             self._acc[key] = acc
         return acc
 
@@ -268,34 +277,102 @@ class CountingMemory(MemoryModel):
                 span = int(arr.max() - arr.min() + 1) * handle.itemsize
                 nbytes = min(nbytes, max(span, handle.itemsize))
         acc = self._acc_for(self.counters)
+        q = self._QUANTUM
         if mode == "seq":
             lines = n * handle.itemsize / self._line
+            ql = int(np.rint(lines * q))
             if nbytes > self.hier.l1.size_bytes:
-                acc[0] += lines
+                acc[0] += ql
             if nbytes > self.hier.l2.size_bytes:
-                acc[1] += lines
+                acc[1] += ql
             if nbytes > self.hier.l3.size_bytes:
-                acc[2] += lines
+                acc[2] += ql
             pages = n * handle.itemsize / _PAGE
             if nbytes > self.hier.tlb.entries * self.hier.tlb.page_bytes:
-                acc[3] += pages
+                acc[3] += int(np.rint(pages * q))
         else:
-            acc[0] += n * max(0.0, 1.0 - self.hier.l1.size_bytes / nbytes)
-            acc[1] += n * max(0.0, 1.0 - self.hier.l2.size_bytes / nbytes)
-            acc[2] += n * max(0.0, 1.0 - self.hier.l3.size_bytes / nbytes)
+            acc[0] += int(np.rint(
+                n * max(0.0, 1.0 - self.hier.l1.size_bytes / nbytes) * q))
+            acc[1] += int(np.rint(
+                n * max(0.0, 1.0 - self.hier.l2.size_bytes / nbytes) * q))
+            acc[2] += int(np.rint(
+                n * max(0.0, 1.0 - self.hier.l3.size_bytes / nbytes) * q))
             tlb_reach = self.hier.tlb.entries * self.hier.tlb.page_bytes
-            acc[3] += n * max(0.0, 1.0 - tlb_reach / nbytes)  # span-refined
+            acc[3] += int(np.rint(
+                n * max(0.0, 1.0 - tlb_reach / nbytes) * q))  # span-refined
+        self._flush(acc)
+
+    def touch_batch(self, handle: ArrayHandle, *, mode: str, counts,
+                    idx=None, seg=None) -> None:
+        """Vectorized analytic accounting for one batched stream op.
+
+        Accounts exactly what per-segment :meth:`_touch` calls would:
+        segment ``k`` contributes with ``n = counts[k]`` and, in ``rand``
+        mode, with its own index span (segments of size <= 1 use the
+        whole array, like scalar-idx calls).  Contributions are
+        quantized per segment before summation, so the totals equal the
+        per-call path bit for bit.
+        """
+        if mode == "cached":
+            return
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size == 0:
+            return
+        acc = self._acc_for(self.counters)
+        q = self._QUANTUM
+        if mode == "seq":
+            nbytes = handle.nbytes
+            lines = (counts * handle.itemsize) / self._line
+            ql = int(np.rint(lines * q).astype(np.int64).sum())
+            if nbytes > self.hier.l1.size_bytes:
+                acc[0] += ql
+            if nbytes > self.hier.l2.size_bytes:
+                acc[1] += ql
+            if nbytes > self.hier.l3.size_bytes:
+                acc[2] += ql
+            pages = (counts * handle.itemsize) / _PAGE
+            if nbytes > self.hier.tlb.entries * self.hier.tlb.page_bytes:
+                acc[3] += int(np.rint(pages * q).astype(np.int64).sum())
+        else:
+            nb = np.full(counts.size, handle.nbytes, dtype=np.int64)
+            if idx is not None:
+                arr = np.asarray(idx, dtype=np.int64)
+                if arr.size:
+                    if seg is None:
+                        seg = np.array([0, arr.size], dtype=np.int64)
+                    seg = np.asarray(seg, dtype=np.int64)
+                    sizes = np.diff(seg)
+                    nz = sizes > 0
+                    if nz.any():
+                        starts_nz = seg[:-1][nz]
+                        span = ((np.maximum.reduceat(arr, starts_nz)
+                                 - np.minimum.reduceat(arr, starts_nz) + 1)
+                                * handle.itemsize)
+                        eff = np.minimum(handle.nbytes,
+                                         np.maximum(span, handle.itemsize))
+                        multi = sizes[nz] > 1
+                        nb[np.flatnonzero(nz)[multi]] = eff[multi]
+            nbf = nb.astype(np.float64)
+            tlb_reach = self.hier.tlb.entries * self.hier.tlb.page_bytes
+            for slot, cap in ((0, self.hier.l1.size_bytes),
+                              (1, self.hier.l2.size_bytes),
+                              (2, self.hier.l3.size_bytes),
+                              (3, tlb_reach)):
+                frac = np.maximum(0.0, 1.0 - cap / nbf)
+                acc[slot] += int(np.rint((counts * frac) * q)
+                                 .astype(np.int64).sum())
         self._flush(acc)
 
     @staticmethod
     def _flush(acc: list) -> None:
         counters: PerfCounters = acc[4]
+        grid = int(CountingMemory._QUANTUM)
         for slot, attr in ((0, "l1_misses"), (1, "l2_misses"), (2, "l3_misses"),
                            (3, "tlb_d_misses")):
-            whole = int(acc[slot])
+            whole = acc[slot] // grid
             if whole:
-                setattr(counters, attr, getattr(counters, attr) + whole)
-                acc[slot] -= whole
+                setattr(counters, attr, getattr(counters, attr) + int(whole))
+                acc[slot] -= whole * grid
 
 
 class CacheSimMemory(MemoryModel):
@@ -328,6 +405,28 @@ class CacheSimMemory(MemoryModel):
 
     def set_thread(self, tid: int) -> None:
         self._thread = tid
+
+    def access_batch(self, addrs: np.ndarray) -> None:
+        """Feed one merged, ordered byte-address batch to the current
+        thread's simulator, attributing miss deltas to the current
+        counters.
+
+        The simulator only collapses *consecutive duplicate lines*, so
+        concatenating the per-call address sequences of an access
+        pattern and replaying them in one call yields the same miss
+        counts as the per-call path (the boundary collapse can only
+        drop an access that would have re-touched an already-MRU line).
+        """
+        if len(addrs) == 0:
+            return
+        sim = self._sims[self._thread]
+        c = self.counters
+        b1, b2, b3, bt = sim.l1.misses, sim.l2.misses, sim.l3.misses, sim.tlb.misses
+        sim.access(addrs)
+        c.l1_misses += sim.l1.misses - b1
+        c.l2_misses += sim.l2.misses - b2
+        c.l3_misses += sim.l3.misses - b3
+        c.tlb_d_misses += sim.tlb.misses - bt
 
     def _touch(self, handle: ArrayHandle, idx, n: int, mode: str,
                start: int | None = None) -> None:

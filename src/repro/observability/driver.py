@@ -26,7 +26,12 @@ from repro.observability.hwcounters import DEFAULT_CACHE_SCALE, equip_cache_sim
 from repro.observability.tracer import attach_tracer
 
 #: kernels the trace driver knows how to launch
-TRACE_ALGORITHMS = ("pagerank", "bfs", "sssp")
+TRACE_ALGORITHMS = ("pagerank", "bfs", "sssp", "cc")
+
+#: execution engines: "interpreted" = per-element MemoryModel calls,
+#: "batched" = stream-emitting kernels (repro.streams) replaying numpy
+#: op batches -- byte-identical counters, far less Python dispatch
+TRACE_ENGINES = ("interpreted", "batched")
 
 
 def default_fault_plan(seed: int = 1):
@@ -39,7 +44,18 @@ def default_fault_plan(seed: int = 1):
 
 
 def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
-              iterations: int):
+              iterations: int, engine: str = "interpreted"):
+    if engine not in TRACE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {TRACE_ENGINES}")
+    batched = engine == "batched" and not dm
+    # DM kernels already emit their communication as per-superstep verb
+    # batches (alltoallv, staged RMA), so the batched engine treats DM
+    # cells as an exact passthrough (docs/streams.md)
+    if batched and variant in ("switching", "push-pa", "mp"):
+        raise ValueError(
+            f"variant {variant!r} has no batched kernel; the batched "
+            "engine covers the plain push/pull kernels")
     if algorithm == "pagerank":
         if dm:
             from repro.algorithms.dm_pagerank import dm_pagerank
@@ -47,6 +63,10 @@ def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
                 variant, variant)
             return resolved, dm_pagerank(g, rt, variant=resolved,
                                          iterations=iterations)
+        if batched:
+            from repro.streams.kernels import pagerank_batched
+            return variant, pagerank_batched(g, rt, direction=variant,
+                                             iterations=iterations)
         from repro.algorithms.pagerank import pagerank
         return variant, pagerank(g, rt, direction=variant,
                                  iterations=iterations)
@@ -57,14 +77,29 @@ def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
         if variant == "switching":
             from repro.strategies.switching import direction_optimizing_bfs
             return variant, direction_optimizing_bfs(g, rt, root=0)
+        if batched:
+            from repro.streams.kernels import bfs_batched
+            return variant, bfs_batched(g, rt, root=0, direction=variant)
         from repro.algorithms.bfs import bfs
         return variant, bfs(g, rt, root=0, direction=variant)
     if algorithm == "sssp":
         if dm:
             from repro.algorithms.dm_sssp import dm_sssp_delta
             return variant, dm_sssp_delta(g, rt, source=0, variant=variant)
+        if batched:
+            from repro.streams.kernels import sssp_delta_batched
+            return variant, sssp_delta_batched(g, rt, source=0,
+                                               direction=variant)
         from repro.algorithms.sssp_delta import sssp_delta
         return variant, sssp_delta(g, rt, source=0, direction=variant)
+    if algorithm == "cc":
+        if dm:
+            raise ValueError("cc has no DM kernel; drop --dm")
+        if batched:
+            from repro.streams.kernels import cc_batched
+            return variant, cc_batched(g, rt, direction=variant)
+        from repro.algorithms.connected_components import connected_components
+        return variant, connected_components(g, rt, direction=variant)
     raise ValueError(
         f"unknown algorithm {algorithm!r}; choose from {TRACE_ALGORITHMS}")
 
@@ -73,7 +108,7 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
                faults: bool = False, dataset: str = "er", n: int = 96,
                P: int = 4, seed: int = 7, iterations: int = 5,
                fault_seed: int = 1, cache_scale: int = DEFAULT_CACHE_SCALE,
-               attach=None):
+               attach=None, engine: str = "interpreted"):
     """Run one kernel under a fresh tracer.
 
     Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
@@ -83,7 +118,10 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     ``cache_scale=0`` keeps the runtime's flat counting memory.
     ``attach``, when given, is called with the fully equipped runtime
     right before dispatch -- the hook the effect-inference layer uses to
-    install its dynamic write-footprint recorder.
+    install its dynamic write-footprint recorder.  ``engine="batched"``
+    dispatches to the stream-emitting kernels (:mod:`repro.streams`);
+    counters, span deltas, and results are byte-identical to the
+    interpreted kernels (certified by tests/test_streams_differential).
     """
     from repro.analysis.runner import instance_graph
     if faults and not dm:
@@ -105,7 +143,8 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
         attach_fault_injector(rt, default_fault_plan(fault_seed))
     if attach is not None:
         attach(rt)
-    resolved, result = _dispatch(algorithm, variant, g, rt, dm, iterations)
+    resolved, result = _dispatch(algorithm, variant, g, rt, dm, iterations,
+                                 engine=engine)
     return rt, tracer, resolved, result
 
 
@@ -113,7 +152,7 @@ def trace_main(args) -> int:
     """Back the ``repro trace`` CLI subcommand; returns an exit code."""
     if args.bench:
         from repro.harness.bench import write_bench
-        paths = write_bench(args.out)
+        paths = write_bench(args.out, engine=args.engine)
         print(f"wrote perf baseline: {paths['trace']}")
         print(f"wrote perf rollup:   {paths['perf']}")
         return 0
@@ -124,7 +163,7 @@ def trace_main(args) -> int:
         args.algorithm, variant=args.variant, dm=args.dm, faults=args.faults,
         dataset=args.dataset, n=args.scale, P=args.procs, seed=args.seed,
         iterations=args.iterations, fault_seed=args.fault_seed,
-        cache_scale=args.cache_scale)
+        cache_scale=args.cache_scale, engine=args.engine)
     paths = write_outputs(tracer, args.out, flame=args.flame)
     kinds: dict[str, int] = {}
     for ev in tracer.events:

@@ -50,6 +50,22 @@ class FootprintRecorder:
 
             setattr(mem, verb, wrapped)
 
+        # the batched engine's fast paths (CountingMemory /
+        # CacheSimMemory) never call the per-element verbs above;
+        # StreamMemory.replay announces every op batch through this
+        # hook before consuming it, so the footprint stays complete
+        def on_stream_replay(ops):
+            for op in ops:
+                if op.verb in ("write", "cas", "faa", "lock"):
+                    recorder.written.add(_handle_name(op.handle))
+                    for pair in (op.covers or ()):
+                        try:
+                            recorder.written.add(_handle_name(pair[0]))
+                        except (TypeError, IndexError):
+                            pass
+
+        mem.on_stream_replay = on_stream_replay
+
         for verb in ("put", "accumulate"):
             orig = getattr(rt, verb, None)
             if orig is None:
@@ -92,6 +108,7 @@ _CELL_KERNELS = {
     ("pagerank", False): "pagerank",
     ("bfs", False): "bfs",
     ("sssp", False): "sssp_delta",
+    ("cc", False): "connected_components",
     ("pagerank", True): "dm_pagerank",
     ("bfs", True): "dm_bfs",
     ("sssp", True): "dm_sssp_delta",
@@ -99,13 +116,17 @@ _CELL_KERNELS = {
 
 
 def reconcile_effects(report=None, n: int = 96, P: int = 4,
-                      iterations: int = 3, progress=None
-                      ) -> list[ReconcileCell]:
-    """Run the 12-cell trace matrix with a footprint recorder and check
+                      iterations: int = 3, progress=None,
+                      engine: str = "interpreted") -> list[ReconcileCell]:
+    """Run the 14-cell trace matrix with a footprint recorder and check
     each kernel's static write set covers what was dynamically written.
 
     Runs with ``cache_scale=0``: the recorder's verb wrappers are plain
     instance attributes, and flat counting memory keeps the run cheap.
+    ``engine="batched"`` reconciles the stream kernels instead: each
+    batched kernel must stay inside the write set its interpreted twin
+    declares (the stream replays are observed through the recorder's
+    ``on_stream_replay`` hook).
     """
     import fnmatch
 
@@ -122,7 +143,7 @@ def reconcile_effects(report=None, n: int = 96, P: int = 4,
             rec = FootprintRecorder()
             run_traced(algorithm, variant=variant, dm=dm, n=n, P=P,
                        iterations=iterations, cache_scale=0,
-                       attach=rec.install)
+                       attach=rec.install, engine=engine)
             keff = report.kernels[kernel]
             claimed = set(keff.write_set) | set(keff.windows)
             traced = rec.written | rec.windows

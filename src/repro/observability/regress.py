@@ -208,7 +208,14 @@ def load_baseline(path: str) -> dict:
 
 
 def _cell_key(cell: dict) -> str:
-    return f"{cell['algorithm']}/{cell['variant']}/{cell['runtime']}"
+    key = f"{cell['algorithm']}/{cell['variant']}/{cell['runtime']}"
+    # repro-bench/3 documents carry multiple cell families (baseline /
+    # large); older documents predate the field and keep the bare key.
+    # "engine" is deliberately NOT part of the key: an interpreted
+    # baseline and a batched candidate must land on the same cells --
+    # that comparison IS the zero-drift gate.
+    family = cell.get("family")
+    return f"{key}/{family}" if family else key
 
 
 def _within(base: float, cand: float, tolerance_pct: float) -> bool:

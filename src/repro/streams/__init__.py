@@ -1,0 +1,21 @@
+"""Batched-stream execution mode (the "streams" engine).
+
+Instead of one :class:`~repro.machine.memory.MemoryModel` call per
+element, kernels emit numpy address/op batches (:mod:`repro.streams.ops`)
+that :class:`~repro.streams.memory.StreamMemory` replays vectorized into
+the counters, the analytic miss model, or the trace-driven cache
+simulator -- same event taxonomy, byte-identical totals.  The batched
+kernels themselves live in :mod:`repro.streams.kernels`; docs/streams.md
+explains the taxonomy and the CSR=pull / CSC=push substrate mapping.
+"""
+
+from repro.streams.memory import StreamMemory
+from repro.streams.ops import StreamOp, concat_ranges, rand_op, seq_op
+
+__all__ = [
+    "StreamMemory",
+    "StreamOp",
+    "concat_ranges",
+    "rand_op",
+    "seq_op",
+]

@@ -307,7 +307,7 @@ class TestReconciliation:
         from repro.observability.footprint import reconcile_effects
 
         cells = reconcile_effects(report=report, n=64, iterations=2)
-        assert len(cells) == 12
+        assert len(cells) == 14
         bad = [c for c in cells if not c.ok]
         assert bad == [], "\n".join(
             f"{c.algorithm}/{c.variant} dm={c.dm}: traced {c.missing} "

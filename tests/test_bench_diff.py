@@ -32,8 +32,9 @@ def _perturb(doc: dict, pct: float, metric: str = "l1_misses") -> dict:
     """Grow one phase counter of one cell by ``pct`` percent."""
     mut = copy.deepcopy(doc)
     cell = next(c for c in mut["cells"]
-                if (c["algorithm"], c["variant"], c["runtime"])
-                == ("pagerank", "pull", "sm"))
+                if (c["algorithm"], c["variant"], c["runtime"],
+                    c.get("family", "baseline"))
+                == ("pagerank", "pull", "sm", "baseline"))
     phase = cell["phases"][0]
     phase["counters"][metric] = round(
         phase["counters"][metric] * (1 + pct / 100.0))
@@ -44,7 +45,7 @@ class TestDiffBench:
     def test_identical_documents_diff_clean(self, baseline):
         diff = diff_bench(baseline, copy.deepcopy(baseline))
         assert diff.ok and diff.drifts == []
-        assert diff.cells_compared == 12
+        assert diff.cells_compared == 20
         assert "clean" in diff.summary()
 
     def test_drift_above_tolerance_is_attributed(self, baseline):
@@ -52,7 +53,7 @@ class TestDiffBench:
                           tolerance_pct=5.0)
         assert not diff.ok
         [d] = diff.failing
-        assert d.cell == "pagerank/pull/sm"
+        assert d.cell == "pagerank/pull/sm/baseline"
         assert d.scope == "phase" and d.phase == "pr.pull"
         assert d.metric == "l1_misses"
         assert d.direction == "regression"
@@ -116,7 +117,8 @@ class TestDiffBench:
         assert doc["ok"] is False
         assert doc["summary"]["out_of_tolerance"] == 1
         assert doc["summary"]["regressions"] == 1
-        assert doc["summary"]["cells_affected"] == ["pagerank/pull/sm"]
+        assert doc["summary"]["cells_affected"] == [
+            "pagerank/pull/sm/baseline"]
         json.dumps(doc)  # must be serializable as-is
 
     def test_markdown_report(self, baseline):
@@ -124,7 +126,7 @@ class TestDiffBench:
                           tolerance_pct=5.0)
         md = diff.markdown()
         assert "| cell |" in md and "regression" in md
-        assert "pagerank/pull/sm" in md and "l1_misses" in md
+        assert "pagerank/pull/sm/baseline" in md and "l1_misses" in md
         clean = diff_bench(baseline, copy.deepcopy(baseline)).markdown()
         assert "clean" in clean and "|" not in clean
 
@@ -179,7 +181,7 @@ class TestDiffCli:
         assert rc == 1
         out = capsys.readouterr().out
         assert "FAIL" in out
-        assert "pagerank/pull/sm :: pr.pull :: l1_misses" in out
+        assert "pagerank/pull/sm/baseline :: pr.pull :: l1_misses" in out
 
     def test_report_and_markdown_flags(self, capsys, baseline, tmp_path):
         cand = self._write(tmp_path, "mut.json", _perturb(baseline, 10.0))

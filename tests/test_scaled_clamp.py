@@ -1,0 +1,31 @@
+"""The harness scale caps must clamp *loudly* (no silent ``min``)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.harness.config import clamped_scale
+
+
+class TestClampedScale:
+    def test_within_cap_is_honored_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert clamped_scale(9, 11, reason="quadratic kernel") == 9
+            assert clamped_scale(11, 11, reason="quadratic kernel") == 11
+
+    def test_exceeding_cap_warns_and_clamps(self):
+        with pytest.warns(RuntimeWarning) as record:
+            assert clamped_scale(20, 11, reason="quadratic kernel") == 11
+        [w] = record
+        msg = str(w.message)
+        assert "20" in msg and "11" in msg
+        assert "quadratic kernel" in msg
+
+    def test_warning_points_at_the_call_site(self):
+        # stacklevel=2: the warning must name this file, not config.py
+        with pytest.warns(RuntimeWarning) as record:
+            clamped_scale(99, 10, reason="cap")
+        assert record[0].filename == __file__

@@ -65,17 +65,23 @@ class TestTraceCommand:
         rc = main(["trace", "--bench", "--out", str(target)])
         assert rc == 0
         doc = json.loads(target.read_text())
-        assert doc["schema"] == "repro-bench/2"
+        assert doc["schema"] == "repro-bench/3"
         assert doc["kind"] == "trace"
-        assert len(doc["cells"]) == 12
+        assert len(doc["cells"]) == 20
+        families = {c["family"] for c in doc["cells"]}
+        assert families == {"baseline", "large"}
         for cell in doc["cells"]:
             assert cell["time_mtu"] > 0 and cell["events"]
             assert cell["phases"] and cell["cut"]["edges_total"] > 0
             assert cell["counters"]["l1_misses"] > 0
+        for cell in doc["cells"]:
+            if cell["family"] == "large":
+                assert cell["engine"] == "batched"
+                assert cell["runtime"] == "sm"
         perf = json.loads((tmp_path / "BENCH_perf.json").read_text())
-        assert perf["schema"] == "repro-bench/2"
+        assert perf["schema"] == "repro-bench/3"
         assert perf["kind"] == "perf"
-        assert len(perf["cells"]) == 12
+        assert len(perf["cells"]) == 20
         for cell in perf["cells"]:
             assert "phases" not in cell and cell["time_mtu"] > 0
 
