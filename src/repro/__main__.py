@@ -82,9 +82,17 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="run only the dynamic race detector")
     an.add_argument("--dm", action="store_true",
                     help="run only the distributed-memory epoch checker")
+    an.add_argument("--sm", action="store_true",
+                    help="with --faults: restrict the chaos suite to the "
+                         "shared-memory matrix; alone: run only the "
+                         "dynamic race detector (alias of --race)")
     an.add_argument("--faults", action="store_true",
-                    help="run the chaos suite: DM kernels under seeded "
-                         "fault plans with recovery (off by default)")
+                    help="run the chaos suite: kernels under seeded fault "
+                         "plans with recovery (off by default; scope with "
+                         "--sm / --dm / --all, default --all)")
+    an.add_argument("--all", action="store_true",
+                    help="with --faults: run both runtimes' chaos "
+                         "matrices (the default scope)")
     an.add_argument("--effects", action="store_true",
                     help="run the static effect-inference pass (ANL1xx) "
                          "over the 17-kernel matrix and reconcile the "
@@ -294,13 +302,18 @@ def _cmd_analyze(args) -> int:
 
     # each flag selects its pass; with none given, run everything except
     # the chaos suite and effect inference, which are opt-in (grids of
-    # whole-kernel runs)
-    opted = (args.lint, args.race, args.dm, args.faults, args.effects)
+    # whole-kernel runs).  With --faults, --sm/--dm/--all scope the
+    # chaos matrices instead of selecting their usual passes.
+    opted = (args.lint, args.race, args.dm, args.sm, args.faults,
+             args.effects)
     default_on = not any(opted)
     do_lint = args.lint or default_on
-    do_race = args.race or default_on
-    do_dm = args.dm or default_on
+    do_race = args.race or (args.sm and not args.faults) or default_on
+    do_dm = (args.dm and not args.faults) or default_on
     do_faults = args.faults
+    scoped = args.sm or args.dm
+    fault_scope_dm = args.dm or args.all or not scoped
+    fault_scope_sm = args.sm or args.all or not scoped
     do_effects = args.effects
     as_json = args.format == "json"
     say = (lambda *a, **k: None) if as_json else print
@@ -372,7 +385,7 @@ def _cmd_analyze(args) -> int:
 
     if do_faults:
         from repro.analysis.fault_runner import (
-            analyze_faults, format_overhead_table,
+            analyze_faults, analyze_sm_faults, format_overhead_table,
         )
 
         from repro.harness.config import clamped_scale
@@ -380,12 +393,21 @@ def _cmd_analyze(args) -> int:
                             reason="the chaos suite replays whole kernel "
                                    "grids per fault seed")
         seeds = tuple(range(max(1, args.fault_seeds)))
-        say(f"chaos suite: 4 DM kernels x backends x fault plans, "
-            f"P={args.threads}, {args.dataset} n={n_f}, "
-            f"{len(seeds)} fault seed(s)")
-        runs = analyze_faults(n=n_f, P=args.threads, seed=args.seed,
-                              dataset=args.dataset, fault_seeds=seeds,
-                              progress=progress)
+        runs = []
+        if fault_scope_dm:
+            say(f"chaos suite: 4 DM kernels x backends x fault plans, "
+                f"P={args.threads}, {args.dataset} n={n_f}, "
+                f"{len(seeds)} fault seed(s)")
+            runs += analyze_faults(n=n_f, P=args.threads, seed=args.seed,
+                                   dataset=args.dataset, fault_seeds=seeds,
+                                   progress=progress)
+        if fault_scope_sm:
+            say(f"chaos suite: 4 SM kernels x push/pull x fault plans, "
+                f"P={args.threads}, {args.dataset} n={n_f}, "
+                f"{len(seeds)} fault seed(s)")
+            runs += analyze_sm_faults(n=n_f, P=args.threads, seed=args.seed,
+                                      dataset=args.dataset,
+                                      fault_seeds=seeds, progress=progress)
         bad = [r for r in runs if not r.ok]
         for r in bad:
             for race in r.races:
@@ -393,8 +415,9 @@ def _cmd_analyze(args) -> int:
         say(format_overhead_table(runs))
         say(f"faults: {len(bad)} failing run(s) of {len(runs)}")
         doc["passes"]["faults"] = {
-            "runs": [{"algorithm": r.algorithm, "variant": r.variant,
-                      "plan": r.plan_name, "seed": r.seed, "ok": r.ok,
+            "runs": [{"runtime": r.runtime, "algorithm": r.algorithm,
+                      "variant": r.variant, "plan": r.plan_name,
+                      "seed": r.seed, "ok": r.ok,
                       "races": [str(x) for x in r.races]}
                      for r in runs],
             "ok": not bad,

@@ -95,8 +95,14 @@ def prim_mst(g: CSRGraph, rt: SMRuntime, direction: str = PUSH) -> PrimResult:
             u = int(best_per_thread[t_best, 1])
             edges.append((min(u, int(parent[u])), max(u, int(parent[u]))))
             total_weight += float(key[u])
-        in_tree[u] = True
-        mem.write(tree_h, idx=u, mode="rand")
+        # master-step tree marking runs as a traced sequential region:
+        # outside one, the store would be invisible to checkpoint
+        # rollback and counter reconciliation (ANL006)
+        def mark_root(u: int = u) -> None:
+            in_tree[u] = True
+            mem.write(tree_h, idx=u, mode="rand")
+
+        rt.sequential(mark_root)
         rounds += 1
 
         # ---- key update ------------------------------------------------------

@@ -1,21 +1,26 @@
-"""Chaos suite: the DM kernel matrix under seeded fault plans.
+"""Chaos suite: both kernel matrices under seeded fault plans.
 
-The fault half of ``python -m repro analyze`` (``--faults``): every
-(algorithm, backend) cell of :data:`~repro.analysis.dm_runner.DM_MATRIX`
-runs against a grid of seeded :class:`~repro.runtime.faults.FaultPlan`\\ s
-with recovery enabled and the epoch checker attached, asserting the
-three robustness contracts:
+The fault half of ``python -m repro analyze`` (``--faults [--sm|--dm|
+--all]``): every (algorithm, backend) cell of
+:data:`~repro.analysis.dm_runner.DM_MATRIX` -- and, for the SM side,
+every (algorithm, direction) cell of :data:`SM_MATRIX` -- runs against
+a grid of seeded fault plans with recovery enabled and the matching
+dynamic checker attached, asserting the three robustness contracts:
 
 * **convergence** -- results equal the sequential references (ranks to
   1e-9; retried float accumulates legally reassociate, nothing else
   moves);
-* **epoch discipline** -- the :mod:`~repro.analysis.dm_race` checker
+* **checker discipline** -- the :mod:`~repro.analysis.dm_race` epoch
+  checker (DM) / the :mod:`~repro.analysis.race` race detector (SM)
   stays clean *during* recovery (retries and replays are re-issued as
-  real ops with their own flushes, crashes roll the epoch log back);
+  real ops, crashes roll state back before the rerun);
 * **accounted overhead** -- a faulted run's ``rt.time`` is never below
-  the fault-free baseline on the same instance, and strictly above it
+  the fault-free baseline on the same instance, strictly above it
   whenever recovery did costly work (retries, replays, waits, restarts,
-  straggles).
+  fences), and on the SM side the tracer's counter reconciliation
+  (:meth:`~repro.observability.tracer.Tracer.reconcile`) holds exactly
+  under faults -- recovery work is re-accounted inside traced regions,
+  recovery *waits* are counter-free stall events.
 
 The communication-bound cross-check of ``analyze --dm`` is *not*
 applied here: retransmissions intentionally exceed the lossless cut
@@ -37,13 +42,32 @@ from repro.algorithms.reference import (
     bfs_reference, pagerank_reference, sssp_reference,
     triangle_per_vertex_reference,
 )
+from repro.algorithms.bfs import bfs
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp_delta import sssp_delta
+from repro.algorithms.triangle import triangle_count
 from repro.analysis.dm_race import attach_dm_race_detector
 from repro.analysis.dm_runner import DM_MATRIX
+from repro.analysis.race import attach_race_detector
 from repro.analysis.runner import instance_graph
-from repro.machine.cost_model import XC40, MachineSpec
+from repro.machine.cost_model import XC30, XC40, MachineSpec
+from repro.machine.memory import CountingMemory
+from repro.observability import attach_tracer
 from repro.runtime.dm import DMRuntime
 from repro.runtime.faults import (
     FaultInjector, FaultPlan, RecoveryConfig, attach_fault_injector,
+)
+from repro.runtime.sm import SMRuntime
+from repro.runtime.sm_faults import SMFaultPlan, attach_sm_fault_injector
+
+#: the SM chaos cells: the four reference-checked kernels x direction
+#: (the BC/BGC/MST cells have no sequential reference wired here; the
+#: race matrix of ``analyze`` already covers them fault-free)
+SM_MATRIX = (
+    ("PR", ("push", "pull")),
+    ("TC", ("push", "pull")),
+    ("BFS", ("push", "pull")),
+    ("SSSP-Δ", ("push", "pull")),
 )
 
 #: PageRank iterations for every chaos run (small: the suite is a grid)
@@ -72,6 +96,22 @@ def default_fault_plans(seed: int) -> list[tuple[str, FaultPlan]]:
     ]
 
 
+def default_sm_fault_plans(seed: int) -> list[tuple[str, SMFaultPlan]]:
+    """The SM plan grid: one plan per fault class, plus everything."""
+    return [
+        ("straggler", SMFaultPlan(seed=seed, straggler=0.15,
+                                  straggler_factor=4.0)),
+        ("preempt", SMFaultPlan(seed=seed, lock_preempt=0.20)),
+        ("cas-lost", SMFaultPlan(seed=seed, cas_lost=0.15)),
+        ("cas-dup", SMFaultPlan(seed=seed, cas_duplicate=0.15)),
+        ("store-delay", SMFaultPlan(seed=seed, store_delay=0.10)),
+        ("crash", SMFaultPlan(seed=seed, crash=0.06)),
+        ("chaos", SMFaultPlan(seed=seed, straggler=0.05, lock_preempt=0.10,
+                              cas_lost=0.08, cas_duplicate=0.08,
+                              store_delay=0.05, crash=0.02)),
+    ]
+
+
 @dataclass(frozen=True)
 class FaultRun:
     """One (algorithm, backend, plan, seed) chaos execution."""
@@ -81,13 +121,15 @@ class FaultRun:
     plan_name: str
     seed: int
     converged: bool
-    clean: bool                #: epoch checker reported no races
+    clean: bool                #: epoch checker / race detector clean
     pending_unflushed: int
     fired: int                 #: fault events injected
     costly: int                #: recovery actions that must cost time
     base_time: float           #: fault-free rt.time on the same instance
     time: float                #: faulted rt.time
     races: tuple = ()
+    runtime: str = "dm"        #: which runtime's matrix the cell is from
+    reconciled: bool = True    #: tracer counter reconciliation (SM cells)
 
     @property
     def overhead(self) -> float:
@@ -103,7 +145,8 @@ class FaultRun:
     @property
     def ok(self) -> bool:
         return (self.converged and self.clean
-                and self.pending_unflushed == 0 and self.overhead_accounted)
+                and self.pending_unflushed == 0 and self.overhead_accounted
+                and self.reconciled)
 
     def __str__(self) -> str:
         pct = (100.0 * self.overhead / self.base_time) if self.base_time else 0.0
@@ -111,10 +154,11 @@ class FaultRun:
         detail = "" if self.ok else (
             f"  converged={self.converged} clean={self.clean} "
             f"unflushed={self.pending_unflushed} "
-            f"accounted={self.overhead_accounted}")
-        return (f"{self.algorithm:7s} {self.variant:9s} {self.plan_name:10s} "
-                f"seed={self.seed:<3d} {status:4s} fired={self.fired:4d} "
-                f"overhead={pct:7.1f}%{detail}")
+            f"accounted={self.overhead_accounted} "
+            f"reconciled={self.reconciled}")
+        return (f"{self.runtime:3s} {self.algorithm:7s} {self.variant:9s} "
+                f"{self.plan_name:12s} seed={self.seed:<3d} {status:4s} "
+                f"fired={self.fired:4d} overhead={pct:7.1f}%{detail}")
 
 
 def _reference(algorithm: str, g) -> np.ndarray:
@@ -214,31 +258,151 @@ def analyze_faults(n: int = 64, P: int = 4, seed: int = 7,
     return runs
 
 
+def _sm_run(algorithm: str, g, direction: str, P: int, machine: MachineSpec,
+            plan: SMFaultPlan | None,
+            recovery: RecoveryConfig | None) -> tuple:
+    """One SM kernel execution; returns (result, rt, detector, injector,
+    tracer)."""
+    m = machine.scaled(64)
+    rt = SMRuntime(g, P=P, machine=m, memory=CountingMemory(m.hierarchy))
+    detector = attach_race_detector(rt)
+    tracer = attach_tracer(rt)
+    injector = None
+    if plan is not None:
+        # injector after the detector: the perturbing proxy wraps the
+        # detecting one, so re-issued recovery ops are race-checked too
+        injector = attach_sm_fault_injector(rt, plan, recovery=recovery)
+    if algorithm == "PR":
+        result = pagerank(g, rt, direction=direction, iterations=_PR_ITERS)
+    elif algorithm == "TC":
+        result = triangle_count(g, rt, direction=direction)
+    elif algorithm == "BFS":
+        result = bfs(g, rt, root=0, direction=direction)
+    else:
+        result = sssp_delta(g, rt, source=0, direction=direction)
+    return result, rt, detector, injector, tracer
+
+
+def _reconciled(tracer) -> bool:
+    traced, actual = tracer.reconcile()
+    return traced.to_dict() == actual.to_dict()
+
+
+def analyze_sm_faults(n: int = 64, P: int = 4, seed: int = 7,
+                      d_bar: float = 4.0, dataset: str = "er",
+                      fault_seeds: Iterable[int] = (0, 1),
+                      plans: Iterable[tuple[str, SMFaultPlan]] | None = None,
+                      machine: MachineSpec = XC30,
+                      recovery: RecoveryConfig | None = None,
+                      progress: Callable[[str], None] | None = None
+                      ) -> list[FaultRun]:
+    """Run the SM chaos grid; mirrors :func:`analyze_faults`.
+
+    Each cell runs with the race detector, the tracer, *and* the
+    injector attached, so one execution gates all four contracts:
+    convergence to the reference, race cleanliness under recovery,
+    overhead accounting against the fault-free twin, and exact counter
+    reconciliation (recovery stalls are counter-free by construction).
+    """
+    recovery = recovery if recovery is not None else RecoveryConfig()
+    plain = instance_graph(dataset, n, d_bar, seed, weighted=False)
+    weighted = instance_graph(dataset, n, d_bar, seed, weighted=True)
+    runs: list[FaultRun] = []
+    for algorithm, directions in SM_MATRIX:
+        g = weighted if algorithm == "SSSP-Δ" else plain
+        ref = _reference(algorithm, g)
+        for direction in directions:
+            base_result, base_rt, base_det, _, base_tr = _sm_run(
+                algorithm, g, direction, P, machine, None, None)
+            if not (_converged(algorithm, base_result, ref)
+                    and base_det.report().clean and _reconciled(base_tr)):
+                raise AssertionError(
+                    f"fault-free baseline broken: sm {algorithm}/{direction}")
+            for fseed in fault_seeds:
+                for plan_name, proto in (plans if plans is not None
+                                         else default_sm_fault_plans(fseed)):
+                    plan = (proto if proto.seed == fseed
+                            else replace(proto, seed=fseed))
+                    result, rt, det, inj, tr = _sm_run(
+                        algorithm, g, direction, P, machine, plan, recovery)
+                    report = det.report()
+                    run = FaultRun(
+                        algorithm=algorithm, variant=direction,
+                        plan_name=plan_name, seed=fseed,
+                        converged=_converged(algorithm, result, ref),
+                        clean=report.clean,
+                        pending_unflushed=0,
+                        fired=inj.stats.fired(), costly=inj.stats.costly(),
+                        base_time=base_rt.time, time=rt.time,
+                        races=tuple(str(r) for r in report.races[:4]),
+                        runtime="sm", reconciled=_reconciled(tr))
+                    runs.append(run)
+                    if progress is not None:
+                        progress(str(run))
+    return runs
+
+
 def overhead_table(runs: list[FaultRun]) -> list[dict]:
-    """Mean relative overhead per (algorithm, backend, plan) -- the
-    Table-style fault-overhead curves of the chaos suite."""
+    """Mean relative overhead per (runtime, algorithm, backend, plan) --
+    the Table-style fault-overhead curves of the chaos suite."""
     rows: dict[tuple, list[float]] = {}
     for r in runs:
         if r.base_time > 0:
-            rows.setdefault((r.algorithm, r.variant, r.plan_name),
+            rows.setdefault((r.runtime, r.algorithm, r.variant, r.plan_name),
                             []).append(r.overhead / r.base_time)
     return [
-        {"algorithm": a, "variant": v, "plan": p,
+        {"runtime": rtm, "algorithm": a, "variant": v, "plan": p,
          "overhead_pct": round(100.0 * sum(vals) / len(vals), 1)}
-        for (a, v, p), vals in rows.items()
+        for (rtm, a, v, p), vals in rows.items()
     ]
 
 
+def _table_layout(runs: list[FaultRun]) -> list[tuple[str, list, list]]:
+    """Per-runtime (runtime, row keys, plan columns), in run order --
+    derived from the runs themselves so DM and SM grids (different plan
+    vocabularies) each get their own correctly-labeled block."""
+    blocks: dict[str, tuple[list, list]] = {}
+    for r in runs:
+        rows, plans = blocks.setdefault(r.runtime, ([], []))
+        if (r.algorithm, r.variant) not in rows:
+            rows.append((r.algorithm, r.variant))
+        if r.plan_name not in plans:
+            plans.append(r.plan_name)
+    return [(rtm, rows, plans) for rtm, (rows, plans) in blocks.items()]
+
+
 def format_overhead_table(runs: list[FaultRun]) -> str:
-    lines = ["fault overhead (mean % of fault-free time):",
-             f"{'kernel':9s}{'backend':11s}" + "".join(
-                 f"{name:>11s}" for name, _ in default_fault_plans(0))]
-    table = {(row["algorithm"], row["variant"], row["plan"]):
+    table = {(row["runtime"], row["algorithm"], row["variant"], row["plan"]):
              row["overhead_pct"] for row in overhead_table(runs)}
-    for algorithm, variants in DM_MATRIX:
-        for variant in variants:
+    lines = []
+    for rtm, rows, plans in _table_layout(runs):
+        lines.append(f"{rtm} fault overhead (mean % of fault-free time):")
+        lines.append(f"{'kernel':9s}{'backend':11s}"
+                     + "".join(f"{name:>12s}" for name in plans))
+        for algorithm, variant in rows:
             cells = "".join(
-                f"{table.get((algorithm, variant, name), 0.0):>10.1f}%"
-                for name, _ in default_fault_plans(0))
+                f"{table.get((rtm, algorithm, variant, name), 0.0):>11.1f}%"
+                for name in plans)
             lines.append(f"{algorithm:9s}{variant:11s}" + cells)
     return "\n".join(lines)
+
+
+def markdown_overhead_table(runs: list[FaultRun]) -> str:
+    """The same overhead curves as GitHub-flavored markdown (the CI
+    step-summary rendering of the combined SM+DM chaos grid)."""
+    table = {(row["runtime"], row["algorithm"], row["variant"], row["plan"]):
+             row["overhead_pct"] for row in overhead_table(runs)}
+    lines = []
+    for rtm, rows, plans in _table_layout(runs):
+        lines.append(f"### {rtm.upper()} fault overhead "
+                     "(mean % of fault-free time)")
+        lines.append("")
+        lines.append("| kernel | backend | " + " | ".join(plans) + " |")
+        lines.append("|---|---|" + "---|" * len(plans))
+        for algorithm, variant in rows:
+            cells = " | ".join(
+                f"{table.get((rtm, algorithm, variant, name), 0.0):.1f}%"
+                for name in plans)
+            lines.append(f"| {algorithm} | {variant} | {cells} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

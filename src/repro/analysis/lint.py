@@ -28,6 +28,16 @@ without running anything; four rules are enforced:
     barrier-less regions and the caller barriers once, is clean).  With
     no barrier at either level the region's accesses bleed into the
     next epoch with no synchronization point.
+``ANL006`` (unrecoverable-store)
+    A function calls a store verb (``mem.write``/``cas``/``faa``/
+    ``lock``) on the instrumented memory but is neither a traced
+    region/superstep body nor a helper called from one (one-level
+    expansion, as in ANL004/ANL005).  Such stores execute outside every
+    region boundary, so the fault layer's region-granular
+    checkpoint/rollback cannot undo them (unrecoverable by
+    construction) and the tracer's counter reconciliation cannot see
+    them -- the bug class PR 4 fixed in BFS's k-filter by moving it
+    into a traced sequential region.
 ``ANL005`` (untyped-channel)
     A superstep body (the distributed-memory analogue of a parallel
     region) calls ``rt.send`` without ``tag=`` or a data-carrying RMA
@@ -59,6 +69,8 @@ REGION_METHODS = {"parallel_for": 1, "for_each_thread": 0, "sequential": 0}
 RUNTIME_NAMES = {"rt", "runtime"}
 RMA_VERBS = {"put", "accumulate", "rma_put", "rma_accumulate"}
 STORE_DECLS = {"write", "cas", "faa", "lock"}
+#: receivers ANL006 treats as the instrumented memory model
+MEMORY_NAMES = {"mem", "memory"}
 ATOMIC_DECLS = {"cas", "faa", "lock"}
 SCATTER_UFUNCS = {"add", "subtract", "minimum", "maximum", "multiply",
                   "bitwise_or", "bitwise_and", "logical_or", "logical_and"}
@@ -242,6 +254,43 @@ class _BodyScan(ast.NodeVisitor):
                 if n not in self.local_names]
 
 
+def _mem_receiver(f: ast.Attribute) -> bool:
+    """True for ``mem.<verb>`` / ``rt.mem.<verb>``-shaped receivers."""
+    v = f.value
+    if isinstance(v, ast.Name) and v.id in MEMORY_NAMES:
+        return True
+    return isinstance(v, ast.Attribute) and v.attr in MEMORY_NAMES
+
+
+class _DirectStoreScan(ast.NodeVisitor):
+    """Store-verb calls on the instrumented memory in one function's
+    *direct* body -- nested defs and lambdas are their own (possibly
+    region-covered) scopes and are skipped."""
+
+    def __init__(self) -> None:
+        self.stores: list[tuple] = []        # (verb, line)
+
+    def scan(self, fn: ast.AST) -> "_DirectStoreScan":
+        for stmt in getattr(fn, "body", []) or []:
+            self.visit(stmt)
+        return self
+
+    def visit_Call(self, node: ast.Call) -> None:
+        f = node.func
+        if (isinstance(f, ast.Attribute) and f.attr in STORE_DECLS
+                and _mem_receiver(f)):
+            self.stores.append((f.attr, node.lineno))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
 class _CommScan(ast.NodeVisitor):
     """Collect a superstep body's comm-verb calls and local helper calls
     (for ANL005's one-level helper expansion)."""
@@ -399,6 +448,22 @@ def _callee_name(f: ast.AST) -> str | None:
     return None
 
 
+def _body_name(body_expr: ast.AST) -> str | None:
+    """The local-function name a region body argument names, if any
+    (plain reference, lambda trampoline, or functools.partial)."""
+    if isinstance(body_expr, ast.Name):
+        return body_expr.id
+    if (isinstance(body_expr, ast.Lambda)
+            and isinstance(body_expr.body, ast.Call)
+            and isinstance(body_expr.body.func, ast.Name)):
+        return body_expr.body.func.id
+    if (isinstance(body_expr, ast.Call)
+            and _callee_name(body_expr.func) == "partial"
+            and body_expr.args):
+        return _body_name(body_expr.args[0])
+    return None
+
+
 def _resolve_body(body_expr: ast.AST, scopes: list[dict]):
     """The FunctionDef a region's body argument refers to, if traceable."""
     if isinstance(body_expr, ast.Name):
@@ -535,6 +600,57 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
                 "ANL005", path, ln, qual,
                 f"superstep body calls rt.{verb}(...) without "
                 f"{missing}=: {what}"))
+
+    # ANL006: store verbs on the instrumented memory outside every
+    # region/superstep boundary -- unreachable by region-granular
+    # checkpoint/rollback (and invisible to counter reconciliation).
+    # Covered = a resolved region/superstep body, or a module-local
+    # function called from one (one-level helper expansion).
+    covered: set[int] = set()
+    body_names: set[str] = set()
+    for _call, body_expr, _enc, _chain, scopes, _ctx in index.region_calls:
+        fn = _resolve_body(body_expr, scopes)
+        if fn is not None:
+            covered.add(id(fn))
+        name = _body_name(body_expr)
+        if name is not None:
+            body_names.add(name)
+    for _call, body_expr, _chain, scopes in index.superstep_calls:
+        fn = _resolve_body(body_expr, scopes)
+        if fn is not None:
+            covered.add(id(fn))
+        name = _body_name(body_expr)
+        if name is not None:
+            body_names.add(name)
+    by_name: dict[str, list[int]] = {}
+    for fn in index.all_funcs:
+        by_name.setdefault(fn.name, []).append(id(fn))
+    # name-based coverage: the if/else two-branch idiom defines ``body``
+    # once per direction branch in the *same* scope, so scope capture
+    # only resolves the later def -- every same-named def is a region
+    # body somewhere, which is exactly what this rule needs
+    for name in body_names:
+        covered.update(by_name.get(name, ()))
+    helper_ids: set[int] = set()
+    for fn in index.all_funcs:
+        if id(fn) in covered:
+            for callee in index.calls_in.get(id(fn), ()):
+                helper_ids.update(by_name.get(callee, ()))
+    covered |= helper_ids
+    for fn in index.all_funcs:
+        if id(fn) in covered:
+            continue
+        stores = _DirectStoreScan().scan(fn).stores
+        if not stores:
+            continue
+        qual = ".".join(reversed(index.defs_chain.get(id(fn), (fn.name,))))
+        verbs = sorted({v for v, _ in stores})
+        findings.append(LintFinding(
+            "ANL006", path, stores[0][1], qual,
+            f"mem.{'/'.join(verbs)} outside any traced region or "
+            f"superstep body: the store has no region boundary for the "
+            f"fault layer to checkpoint, so a crash cannot roll it "
+            f"back (and counter reconciliation cannot see it)"))
 
     return findings
 

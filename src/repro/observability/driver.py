@@ -8,6 +8,7 @@ fault plan, then writes all three exports into a directory::
     python -m repro trace pagerank --variant push --out /tmp/t
     python -m repro trace pagerank --variant pull --flame --out /tmp/t
     python -m repro trace pagerank --variant push --dm --faults --out /tmp/t
+    python -m repro trace bfs --variant push --faults --flame --out /tmp/t
     python -m repro trace --bench --out BENCH_trace.json
 
 By default the run is equipped with the trace-driven cache simulation
@@ -35,12 +36,21 @@ TRACE_ENGINES = ("interpreted", "batched")
 
 
 def default_fault_plan(seed: int = 1):
-    """The chaos plan ``--faults`` injects: every fault class enabled at
-    rates that make recovery events near-certain on a 5-iteration run."""
+    """The chaos plan ``--faults --dm`` injects: every fault class
+    enabled at rates that make recovery near-certain on a short run."""
     from repro.runtime.faults import FaultPlan
     return FaultPlan(seed=seed, drop=0.15, duplicate=0.05, delay=0.05,
                      rma_lost=0.2, rma_duplicate=0.1, straggler=0.1,
                      crash=0.05)
+
+
+def default_sm_fault_plan(seed: int = 1):
+    """The SM twin: every SM fault class enabled, crash included, so a
+    traced run shows stragglers, retries, fences, and rollbacks."""
+    from repro.runtime.sm_faults import SMFaultPlan
+    return SMFaultPlan(seed=seed, straggler=0.1, lock_preempt=0.1,
+                       cas_lost=0.05, cas_duplicate=0.05, store_delay=0.05,
+                       crash=0.05)
 
 
 def _dispatch(algorithm: str, variant: str, g, rt, dm: bool,
@@ -112,7 +122,11 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     """Run one kernel under a fresh tracer.
 
     Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
-    requires ``dm`` (the fault layer is a DM-runtime hook).  A nonzero
+    attaches the runtime's chaos injector under its default plan
+    (:func:`default_fault_plan` / :func:`default_sm_fault_plan`); on
+    the SM side this also forces the batched engine onto its oracle
+    lowering, so both engines observe the same fault schedule.  A
+    nonzero
     ``cache_scale`` swaps in the trace-driven cache simulator (scaled
     down by that factor) so span deltas carry cache/TLB miss counters;
     ``cache_scale=0`` keeps the runtime's flat counting memory.
@@ -124,9 +138,6 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     interpreted kernels (certified by tests/test_streams_differential).
     """
     from repro.analysis.runner import instance_graph
-    if faults and not dm:
-        raise ValueError("--faults requires --dm (fault injection is a "
-                         "DM-runtime hook)")
     g = instance_graph(dataset, n, d_bar=4.0, seed=seed,
                        weighted=(algorithm == "sssp"))
     if dm:
@@ -139,8 +150,12 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
         equip_cache_sim(rt, cache_scale=cache_scale)
     tracer = attach_tracer(rt, graph=g)
     if faults:
-        from repro.runtime.faults import attach_fault_injector
-        attach_fault_injector(rt, default_fault_plan(fault_seed))
+        if dm:
+            from repro.runtime.faults import attach_fault_injector
+            attach_fault_injector(rt, default_fault_plan(fault_seed))
+        else:
+            from repro.runtime.sm_faults import attach_sm_fault_injector
+            attach_sm_fault_injector(rt, default_sm_fault_plan(fault_seed))
     if attach is not None:
         attach(rt)
     resolved, result = _dispatch(algorithm, variant, g, rt, dm, iterations,

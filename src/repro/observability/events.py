@@ -15,7 +15,10 @@ Event kinds
     topology.  ``data``: ``index``, ``spans`` (per-thread mtu),
     ``deltas`` (per-thread nonzero :class:`PerfCounters` fields),
     ``sizes`` (items per thread, when launched via ``parallel_for``),
-    ``sequential`` (bool).
+    ``sequential`` (bool), and -- only when the SM fault layer
+    stretched a lane -- ``stalls`` (per-thread injected span stretch in
+    mtu: straggler factor, lock-preempt waits; the flamegraph exporter
+    carves these into per-lane ``[stall]`` frames).
 ``superstep``
     One DM superstep.  ``data``: ``index``, ``spans`` (per-rank mtu
     after straggler stretch), ``deltas`` (per-rank counter deltas,
@@ -25,8 +28,10 @@ Event kinds
     A barrier episode; ``dur`` is ``w_barrier``; ``data["barriers"]``
     is the number of per-thread barrier counter increments (= P).
 ``stall``
-    Recovery wait gating a superstep's barrier (retry backoff,
-    redelivery, restart timeouts); strictly-additive time.
+    Recovery wait gating a superstep's or SM region's barrier (retry
+    backoff, redelivery, restart timeouts, store-buffer fences);
+    strictly-additive time, carrying no counters -- so
+    :meth:`Tracer.reconcile` holds under faults by construction.
 ``frontier``
     Frontier evolution of a traversal: ``data`` has ``iteration``,
     ``size``, ``density`` (size / n), and ``edges`` when the caller
@@ -45,9 +50,11 @@ Event kinds
     carries destination/tag/window/dtype/op counts as applicable.
 ``fault`` / ``recovery``
     Injected fault events and the paired recovery actions from
-    :mod:`repro.runtime.faults`; ``label`` is the fault-schedule kind
-    (``drop``, ``retry``, ``crash``, ``restart``, ``rma-replay``, ...)
-    and ``lane`` the affected rank where attributable.
+    :mod:`repro.runtime.faults` and :mod:`repro.runtime.sm_faults`;
+    ``label`` is the fault-schedule kind (``drop``, ``retry``,
+    ``crash``, ``restart``, ``rma-replay``, ``straggler``,
+    ``cas-lost``, ``cas-retry``, ``store-delay``, ``store-fence``, ...)
+    and ``lane`` the affected rank/thread where attributable.
 
 The JSONL export writes a header line ``{"schema": SCHEMA, ...}``
 followed by one event object per line; consumers must check the
@@ -65,6 +72,7 @@ SCHEMA = "repro-trace/1"
 #: are injected faults)
 RECOVERY_KINDS = frozenset({
     "retry", "retry-a2a", "rma-replay", "restart", "deliver-late",
+    "cas-retry", "store-fence",
 })
 
 

@@ -13,7 +13,12 @@ weight.  We fold the simulated timeline as::
   ``rt.annotate`` (``pr.pull``, ``bfs.kfilter [seq]``, ...), or one of
   the synthetic frames ``[idle]`` (the lane's slack inside a region
   whose critical path was another lane), ``[barrier]`` and ``[stall]``
-  (synchronization / recovery waits, paid by every lane).
+  (synchronization / recovery waits).  ``[stall]`` appears two ways:
+  barrier-gating recovery stalls land on every lane, while per-lane
+  injected span stretch (SM stragglers, lock-preempt waits -- the
+  region event's ``data["stalls"]``) is carved out of the injured
+  lane's phase frame only, so a flamegraph of a chaotic run shows
+  exactly *which* thread lost time to which fault.
 
 Weights are simulated mtu rounded to integers, so every lane's total
 width equals the run's simulated time and two runs of the same seeded
@@ -43,17 +48,26 @@ def folded_stacks(tracer) -> list[str]:
     for ev in tracer.events:
         if ev.kind in ("region", "superstep"):
             spans = ev.data["spans"]
+            stalls = ev.data.get("stalls")
             for t, s in enumerate(spans):
                 if t >= rt.P:
                     continue
-                add(lanes[t], ev.label, min(s, ev.dur))
-                add(lanes[t], "[idle]", ev.dur - min(s, ev.dur))
+                w = min(s, ev.dur)
+                # injected per-lane stretch is part of the span but not
+                # of the phase's real work: carve it into [stall]
+                st = min(stalls[t], w) if stalls else 0.0
+                add(lanes[t], ev.label, w - st)
+                add(lanes[t], "[stall]", st)
+                add(lanes[t], "[idle]", ev.dur - w)
         elif ev.kind == "barrier":
             for lane in lanes:
                 add(lane, "[barrier]", ev.dur)
         elif ev.kind == "stall":
-            for lane in lanes:
-                add(lane, "[stall]", ev.dur)
+            if ev.lane is not None and ev.lane < rt.P:
+                add(lanes[ev.lane], "[stall]", ev.dur)
+            else:
+                for lane in lanes:
+                    add(lane, "[stall]", ev.dur)
 
     lines = []
     for key in sorted(weights):

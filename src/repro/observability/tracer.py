@@ -22,9 +22,11 @@ What lands in the trace:
 * loop-schedule decisions (policy + per-thread chunk sizes);
 * DM sends, inbox reads, RMA verbs, flushes -- on the issuing rank's
   lane, timestamped by that rank's progress within the superstep;
-* fault-injection and recovery events from
-  :mod:`repro.runtime.faults` (drop/retry/rollback/restart/...), on
-  the affected rank's lane.
+* fault-injection and recovery events from both injectors --
+  :mod:`repro.runtime.faults` (drop/retry/rollback/restart/...) and
+  :mod:`repro.runtime.sm_faults` (straggler/cas-lost/crash/...) -- on
+  the affected lane, plus per-lane injected span stretch
+  (``data["stalls"]``) on the region events of perturbed SM runs.
 
 All timestamps are simulated mtu, so traces are deterministic.
 """
@@ -108,7 +110,8 @@ class Tracer:
     def on_region(self, label: str, start: float, span: float,
                   spans: list[float], deltas: list[PerfCounters],
                   sizes: list[int] | None = None,
-                  sequential: bool = False) -> None:
+                  sequential: bool = False,
+                  stalls: list[float] | None = None) -> None:
         index = self.n_regions
         self.n_regions += 1
         if sequential:
@@ -123,7 +126,17 @@ class Tracer:
         }
         if sizes is not None:
             data["sizes"] = [int(s) for s in sizes]
+        # per-lane injected span stretch (straggler factor, lock-preempt
+        # waits) -- recorded only when the fault layer stretched someone,
+        # so fault-free traces stay byte-identical to pre-chaos ones
+        if stalls is not None and any(stalls):
+            data["stalls"] = [float(s) for s in stalls]
         self._emit("region", ts=start, dur=span, label=label, data=data)
+
+    def on_stall(self, ts: float, dur: float, index: int) -> None:
+        """An SM recovery stall gating the next barrier (all lanes wait)."""
+        self._emit("stall", ts=ts, dur=dur, label="recovery-stall",
+                   data={"index": int(index)})
 
     def on_barrier(self, ts: float) -> None:
         self._emit("barrier", ts=ts, dur=self.rt.machine.w_barrier,

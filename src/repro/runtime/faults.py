@@ -49,9 +49,15 @@ detector occupies ``rt.observer``/``rt.mem``, the injector ``rt.faults``)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
-import numpy as np
+from repro.runtime.fault_core import (
+    BaseFaultInjector, FaultStats, plan_label, validate_plan,
+    validate_recovery,
+)
+
+__all__ = ["FaultPlan", "RecoveryConfig", "FaultStats", "FaultInjector",
+           "attach_fault_injector"]
 
 
 @dataclass(frozen=True)
@@ -61,8 +67,12 @@ class FaultPlan:
     All probabilities are evaluated independently per message / staged
     RMA op / process-superstep.  A zero probability consumes no random
     draws, so plans stay comparable across seeds fault class by fault
-    class.
+    class.  Probabilities outside [0, 1] raise at construction; a plan
+    with every probability at zero warns (a no-op chaos cell).
     """
+
+    #: magnitude knobs -- everything else is a probability in [0, 1]
+    _NON_PROB = ("delay_steps", "straggler_factor")
 
     seed: int = 0
     #: P(point-to-point message or alltoallv cell is dropped)
@@ -84,15 +94,11 @@ class FaultPlan:
     #: P(a process crashes during a superstep, losing its work)
     crash: float = 0.0
 
+    def __post_init__(self) -> None:
+        validate_plan(self)
+
     def label(self) -> str:
-        parts = [f"seed={self.seed}"]
-        for f in fields(self):
-            if f.name in ("seed", "delay_steps", "straggler_factor"):
-                continue
-            v = getattr(self, f.name)
-            if v:
-                parts.append(f"{f.name}={v:g}")
-        return " ".join(parts) if len(parts) > 1 else f"seed={self.seed} (none)"
+        return plan_label(self)
 
 
 @dataclass(frozen=True)
@@ -123,52 +129,14 @@ class RecoveryConfig:
     #: timeout-based failure detection + process restart
     crash_timeout: float = 200000.0
     restart_penalty: float = 100000.0
+    #: barrier fence draining delayed stores (SM store-buffer faults)
+    store_flush_wait: float = 2000.0
+
+    def __post_init__(self) -> None:
+        validate_recovery(self)
 
 
-@dataclass
-class FaultStats:
-    """Tally of injected faults and recovery actions (one run)."""
-
-    dropped: int = 0            #: messages lost forever (no retry protocol)
-    retries: int = 0            #: message retransmissions
-    duplicates: int = 0         #: duplicated deliveries injected
-    dup_suppressed: int = 0     #: duplicates discarded by seq dedup
-    delayed: int = 0            #: messages hit by a delay fault
-    delivered_late: int = 0     #: held messages released at a later boundary
-    reordered: int = 0          #: destination batches permuted
-    rma_lost: int = 0           #: staged ops lost by their flush
-    rma_replayed: int = 0       #: staged-op replay attempts at boundaries
-    rma_duplicates: int = 0     #: staged ops applied twice
-    rma_dup_suppressed: int = 0  #: double-applies discarded by seq dedup
-    retry_exhausted: int = 0    #: deliveries forced after retry_limit rounds
-    stragglers: int = 0         #: (process, superstep) slowdowns
-    crashes: int = 0            #: process crash events
-    restarts: int = 0           #: crashes recovered by rollback + rerun
-    backoff_time: float = 0.0   #: total recovery wait charged to spans
-
-    def fired(self) -> int:
-        """Fault events that occurred (recovery bookkeeping excluded)."""
-        return (self.dropped + self.retries + self.duplicates + self.delayed
-                + self.reordered + self.rma_lost + self.rma_duplicates
-                + self.stragglers + self.crashes)
-
-    def costly(self) -> int:
-        """Events whose recovery wait must show up in simulated time.
-
-        These all charge the barrier-level stall, so a run with
-        ``costly() > 0`` is strictly slower than its fault-free twin.
-        Stragglers are excluded: the multiplier stretches one process's
-        span, which the BSP max legitimately hides when that process is
-        off the critical path.
-        """
-        return (self.retries + self.delayed + self.rma_replayed
-                + self.restarts)
-
-    def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-
-class FaultInjector:
+class FaultInjector(BaseFaultInjector):
     """Perturbs one :class:`~repro.runtime.dm.DMRuntime` per its plan.
 
     Installed as ``rt.faults`` by :func:`attach_fault_injector`; the
@@ -178,36 +146,12 @@ class FaultInjector:
     staged-op replay).  With ``recovery=None`` the faults hit raw.
     """
 
-    def __init__(self, rt, plan: FaultPlan,
-                 recovery: RecoveryConfig | None = None) -> None:
-        self.rt = rt
-        self.plan = plan
-        self.recovery = recovery
-        self.reset()
-
-    def reset(self) -> None:
-        """Re-seed; called by ``DMRuntime.reset`` so reruns are exact."""
-        self.rng = np.random.default_rng(self.plan.seed)
-        self.stats = FaultStats()
-        #: (superstep, kind, *detail) -- the deterministic event schedule
-        self.schedule: list[tuple] = []
+    def _on_reset(self) -> None:
         self._held: list[tuple[int, int, tuple]] = []   # delayed messages
         self._factors: list[float] = [1.0] * self.rt.P
-        self._stall = 0.0          # barrier-level recovery wait (this superstep)
 
-    # -- draw helpers ---------------------------------------------------------------
-    def _hit(self, p: float) -> bool:
-        return p > 0.0 and float(self.rng.random()) < p
-
-    def _event(self, kind: str, *detail) -> None:
-        self.schedule.append((self.rt.superstep_index, kind, *detail))
-        tracer = getattr(self.rt, "tracer", None)
-        if tracer is not None:
-            tracer.on_fault(kind, detail, self.rt.superstep_index)
-
-    @property
-    def dedup(self) -> bool:
-        return self.recovery is not None and self.recovery.dedup
+    def _step_index(self) -> int:
+        return self.rt.superstep_index
 
     # -- superstep begin: crash and straggler draws ----------------------------------
     def begin_superstep(self) -> set[int]:
@@ -226,23 +170,6 @@ class FaultInjector:
 
     def straggler_factor(self, p: int) -> float:
         return self._factors[p]
-
-    def _wait(self, cost: float) -> None:
-        """Charge a recovery wait to the current superstep's barrier.
-
-        Timeout detection, retransmission backoff, and redelivery all
-        happen at the barrier (the superstep cannot complete until every
-        message is acked), so the wait extends the *global* span -- it
-        can never hide under another process's longer local span.
-        """
-        self._stall += cost
-        self.stats.backoff_time += cost
-
-    def consume_stall(self) -> float:
-        """Hand this superstep's barrier stall to the runtime (and reset)."""
-        s = self._stall
-        self._stall = 0.0
-        return s
 
     # -- crash semantics -------------------------------------------------------------
     def crash(self, p: int, snapshot, body) -> None:
@@ -308,7 +235,7 @@ class FaultInjector:
             c.flushes += 1
             if rt.observer is not None:
                 rt.observer.on_flush(op.rank, op.owner)
-            self._wait(rec.backoff_base * (2 ** min(attempts - 1, 20)))
+            self._wait(self._backoff(attempts))
             if force:
                 self.stats.retry_exhausted += 1
                 rt._apply_staged(op)
@@ -360,7 +287,7 @@ class FaultInjector:
                 c = rt.proc_counters[src]
                 c.messages += 1
                 c.msg_bytes += nbytes
-                self._wait(rec.backoff_base * (2 ** min(attempts - 1, 20)))
+                self._wait(self._backoff(attempts))
                 continue
             self.stats.dropped += 1
             self._event("drop", src, dest, tag)
@@ -415,7 +342,7 @@ class FaultInjector:
                         c = rt.proc_counters[p]
                         c.messages += 1
                         c.msg_bytes += nbytes
-                        backoff = rec.backoff_base * (2 ** min(attempts - 1, 20))
+                        backoff = self._backoff(attempts)
                         wait += backoff
                         self.stats.backoff_time += backoff
                         continue

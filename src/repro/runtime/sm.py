@@ -74,6 +74,8 @@ class SMRuntime:
         self._active_thread: int | None = None
         #: observability hook (repro.observability.attach_tracer)
         self.tracer = None
+        #: chaos hook (repro.runtime.sm_faults.attach_sm_fault_injector)
+        self.faults = None
         self._label = ""
         self.mem.set_counters(self.thread_counters[0])
 
@@ -100,6 +102,8 @@ class SMRuntime:
         self.mem.set_counters(self.thread_counters[0])
         if self.tracer is not None:
             self.tracer.on_reset()
+        if self.faults is not None:
+            self.faults.reset()
 
     def _activate(self, t: int) -> None:
         self._active_thread = t
@@ -163,27 +167,51 @@ class SMRuntime:
         the region's time is that single thread's cost.
         """
         tracer = self.tracer
+        faults = self.faults
         t_start = self.time
         self._activate(thread)
         self.mem.region_begin()
+        if faults is not None:
+            # the serial phase is the conceptual master thread: it can
+            # straggle but never crashes (like DM rank bookkeeping
+            # between supersteps, which PR 3 also leaves uninjured)
+            faults.begin_region([thread], allow_crash=False)
         snap = self.thread_counters[thread].copy() if tracer is not None else None
         before = self.machine.time(self.thread_counters[thread])
         body()
         span = self.machine.time(self.thread_counters[thread]) - before
-        self.time += span
         self.mem.region_end()
+        stalls = None
+        if faults is not None:
+            full = [0.0] * self.P
+            full[thread] = span
+            full, stalls = faults.end_region(full)
+            span = full[thread]
+        self.time += span
         if tracer is not None:
             spans = [0.0] * self.P
             spans[thread] = span
             deltas = [PerfCounters() for _ in range(self.P)]
             deltas[thread] = self.thread_counters[thread] - snap
             tracer.on_region(self._label, t_start, span, spans, deltas,
-                             sequential=True)
+                             sequential=True, stalls=stalls)
         if barrier:
             self.barrier()
 
     def barrier(self) -> None:
-        """A full barrier: every thread pays the barrier cost once."""
+        """A full barrier: every thread pays the barrier cost once.
+
+        Recovery waits (crash timeouts, CAS-retry backoff, store-buffer
+        fences) gate barrier exit: the stall lands *before* the barrier
+        cost, after the region's max span -- the PR 3 convention that
+        keeps fault overhead strictly visible in ``time``.
+        """
+        if self.faults is not None:
+            stall = self.faults.barrier_stall()
+            if stall > 0.0:
+                if self.tracer is not None:
+                    self.tracer.on_stall(self.time, stall, self.region_count)
+                self.time += stall
         if self.tracer is not None:
             self.tracer.on_barrier(self.time)
         for c in self.thread_counters:
@@ -196,24 +224,36 @@ class SMRuntime:
     def _region(self, chunks: Sequence[np.ndarray],
                 body: Callable[[int, np.ndarray], None], barrier: bool) -> None:
         tracer = self.tracer
+        faults = self.faults
         t_start = self.time
         spans = []
         deltas = []
         self.mem.region_begin()
+        crashed = (faults.begin_region(range(len(chunks)))
+                   if faults is not None else ())
         for t, chunk in enumerate(chunks):
             self._activate(t)
+            # region-boundary checkpoint, taken only for the threads the
+            # injector doomed: the pre-body array snapshot is what crash
+            # recovery rolls back to before the rerun
+            ckpt = faults.checkpoint() if t in crashed else None
             snap = self.thread_counters[t].copy() if tracer is not None else None
             before = self.machine.time(self.thread_counters[t])
             body(t, chunk)
+            if ckpt is not None:
+                faults.crash(t, ckpt, lambda t=t, chunk=chunk: body(t, chunk))
             spans.append(self.machine.time(self.thread_counters[t]) - before)
             if tracer is not None:
                 deltas.append(self.thread_counters[t] - snap)
         self.mem.region_end()
+        stalls = None
+        if faults is not None:
+            spans, stalls = faults.end_region(spans)
         span = self._region_span(spans)
         self.time += span
         if tracer is not None:
             tracer.on_region(self._label, t_start, span, spans, deltas,
-                             sizes=[len(c) for c in chunks])
+                             sizes=[len(c) for c in chunks], stalls=stalls)
         if barrier:
             self.barrier()
 

@@ -376,3 +376,97 @@ def helper(rt):
     rt.send(1, None, nbytes=8)
 """
         assert lint_source(src) == []
+
+
+class TestANL006:
+    def test_store_outside_any_region_is_flagged(self):
+        # the seeded bug: a master-step store issued directly between
+        # regions -- no boundary for checkpoint rollback to undo it
+        src = """
+def kernel(rt, mem, h):
+    def body(t, vs):
+        mem.read(h, idx=vs)
+    rt.for_each_thread(body)
+    mem.write(h, idx=0, mode="rand")
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL006"}
+        assert "checkpoint" in findings[0].message
+
+    def test_atomic_verbs_outside_regions_are_flagged(self):
+        src = """
+def kernel(rt, mem, h):
+    mem.cas(h, idx=0, mode="rand")
+    mem.faa(h, idx=1, mode="rand")
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL006"}
+        assert "cas" in findings[0].message and "faa" in findings[0].message
+
+    def test_store_inside_region_body_is_clean(self):
+        src = """
+def kernel(rt, mem, h):
+    def body(t, vs):
+        mem.write(h, idx=vs, mode="rand")
+    rt.for_each_thread(body)
+"""
+        assert lint_source(src) == []
+
+    def test_sequential_region_body_is_clean(self):
+        # the mst_prim fix pattern: wrap the master-step store in
+        # rt.sequential so it lands inside a traced region
+        src = """
+def kernel(rt, mem, h):
+    def mark(u=0):
+        mem.write(h, idx=u, mode="rand")
+    rt.sequential(mark)
+"""
+        assert lint_source(src) == []
+
+    def test_helper_called_from_body_is_clean(self):
+        # one-level expansion, as in ANL004/ANL005
+        src = """
+def kernel(rt, mem, h):
+    def relax(w):
+        mem.cas(h, idx=w, mode="rand")
+    def body(t, vs):
+        for w in vs:
+            relax(w)
+    rt.parallel_for(items, body)
+"""
+        assert lint_source(src) == []
+
+    def test_if_else_double_def_body_is_clean(self):
+        # both branches define `body`; only one wins static scope
+        # resolution, but name-based coverage must clear both
+        src = """
+def kernel(rt, mem, h, direction):
+    if direction == PULL:
+        def body(t, vs):
+            mem.write(h, idx=vs, mode="rand")
+    else:
+        def body(t, vs):
+            mem.cas(h, idx=vs + 1, mode="rand")
+            mem.write(h, idx=vs + 1, mode="rand")
+    rt.for_each_thread(body)
+"""
+        assert lint_source(src) == []
+
+    def test_superstep_body_store_is_clean(self):
+        src = """
+def kernel(g, rt, mem, h):
+    def body(p):
+        mem.write(h, idx=p, mode="rand")
+    rt.superstep(body)
+"""
+        assert lint_source(src) == []
+
+    def test_store_helper_never_launched_is_flagged(self):
+        src = """
+def kernel(rt, mem, h):
+    def orphan():
+        mem.write(h, idx=3, mode="rand")
+    orphan()
+"""
+        findings = lint_source(src)
+        assert _rules(findings) == {"ANL006"}

@@ -12,16 +12,23 @@ import pytest
 
 from repro.analysis.dm_runner import DM_MATRIX, analyze_dm
 from repro.analysis.fault_runner import (
-    FaultRun, analyze_faults, default_fault_plans, format_overhead_table,
-    overhead_table,
+    SM_MATRIX, FaultRun, analyze_faults, analyze_sm_faults,
+    default_fault_plans, default_sm_fault_plans, format_overhead_table,
+    markdown_overhead_table, overhead_table,
 )
 from repro.analysis.runner import analyze_algorithms, instance_graph
 from repro.runtime.faults import FaultPlan
+from repro.runtime.sm_faults import SMFaultPlan
 
 
 @pytest.fixture(scope="module")
 def runs() -> list[FaultRun]:
     return analyze_faults(n=40, P=4, fault_seeds=(0,))
+
+
+@pytest.fixture(scope="module")
+def sm_runs() -> list[FaultRun]:
+    return analyze_sm_faults(n=40, P=4, fault_seeds=(0,))
 
 
 class TestChaosMatrix:
@@ -59,6 +66,51 @@ class TestChaosMatrix:
         runs = analyze_faults(n=32, P=4, fault_seeds=(0,), plans=plans)
         assert {r.plan_name for r in runs} == {"drop-only"}
         assert all(r.ok for r in runs)
+
+
+class TestSMChaosMatrix:
+    def test_every_cell_and_plan_passes(self, sm_runs):
+        bad = [r for r in sm_runs if not r.ok]
+        assert bad == [], "\n".join(str(r) for r in bad)
+
+    def test_full_matrix_is_covered(self, sm_runs):
+        cells = {(r.algorithm, r.variant) for r in sm_runs}
+        expected = {(a, v) for a, vs in SM_MATRIX for v in vs}
+        assert cells == expected
+        assert all(r.runtime == "sm" for r in sm_runs)
+        plans = {r.plan_name for r in sm_runs}
+        assert plans == {name for name, _ in default_sm_fault_plans(0)}
+
+    def test_chaos_plan_fires_everywhere(self, sm_runs):
+        chaos = [r for r in sm_runs if r.plan_name == "chaos"]
+        assert all(r.fired > 0 for r in chaos)
+
+    def test_every_cell_reconciles_counters(self, sm_runs):
+        # recovery work is re-accounted inside traced regions, recovery
+        # waits are counter-free stalls -- reconciliation must be exact
+        assert all(r.reconciled for r in sm_runs)
+
+    def test_costly_recovery_shows_in_overhead(self, sm_runs):
+        costly = [r for r in sm_runs if r.costly > 0]
+        assert costly, "no SM run did costly recovery work?"
+        assert all(r.overhead > 0 for r in costly)
+
+    def test_custom_plan_list(self):
+        plans = [("cas-only", SMFaultPlan(seed=0, cas_lost=0.2))]
+        runs = analyze_sm_faults(n=32, P=4, fault_seeds=(0,), plans=plans)
+        assert {r.plan_name for r in runs} == {"cas-only"}
+        assert all(r.ok for r in runs)
+
+    def test_combined_tables_have_both_blocks(self, runs, sm_runs):
+        both = runs + sm_runs
+        text = format_overhead_table(both)
+        assert "dm fault overhead" in text
+        assert "sm fault overhead" in text
+        md = markdown_overhead_table(both)
+        assert "### DM fault overhead" in md
+        assert "### SM fault overhead" in md
+        # the two grids have different plan vocabularies
+        assert "cas-lost" in md and "rma-lost" in md
 
 
 class TestRoadDataset:

@@ -179,7 +179,9 @@ class TestDeterminism:
 
     def test_plan_label(self):
         assert "drop=0.15" in CHAOS.label()
-        assert FaultPlan(seed=5).label().endswith("(none)")
+        with pytest.warns(UserWarning, match="no-op chaos plan"):
+            empty = FaultPlan(seed=5)
+        assert empty.label().endswith("(none)")
 
 
 # ---------------------------------------------------------------------------
@@ -345,6 +347,60 @@ class TestCrashRestart:
         assert detector.report().clean
         assert detector.pending_unflushed == 0
 
+    def test_checkpoint_restart_off_loses_data(self, g):
+        # recovery present (retries, dedup) but rollback disabled: the
+        # crashed rank's superstep work is gone and stays gone, and no
+        # detection/restart time is charged
+        ref = triangle_per_vertex_reference(g)
+        rt = _rt()
+        attach_fault_injector(rt, FaultPlan(seed=2, crash=0.5),
+                              recovery=RecoveryConfig(
+                                  checkpoint_restart=False))
+        res = dm_triangle_count(g, rt, variant="rma-pull")
+        s = rt.faults.stats
+        assert s.crashes > 0 and s.restarts == 0
+        assert s.backoff_time == 0.0
+        assert not np.array_equal(res.per_vertex, ref)
+
+
+class TestCrashEdgeCases:
+    def test_crash_in_superstep_zero_recovers(self, g):
+        ref = bfs_reference(g, 0)
+        res, rt = _bfs_levels(g, FaultPlan(seed=0, crash=1.0),
+                              RecoveryConfig())
+        inj = rt.faults
+        crashes0 = [e for e in inj.schedule if e[0] == 0 and e[1] == "crash"]
+        assert crashes0, "a certain crash must fire in superstep 0"
+        assert np.array_equal(res.level, ref)
+
+    def test_all_ranks_crash_same_superstep(self, g):
+        # crash=1.0 dooms every rank of every superstep; reruns are not
+        # re-drawn, so recovery still converges
+        ref = bfs_reference(g, 0)
+        res, rt = _bfs_levels(g, FaultPlan(seed=0, crash=1.0),
+                              RecoveryConfig())
+        s = rt.faults.stats
+        by_step: dict[int, int] = {}
+        for e in rt.faults.schedule:
+            if e[1] == "crash":
+                by_step[e[0]] = by_step.get(e[0], 0) + 1
+        assert max(by_step.values()) == P
+        assert s.restarts == s.crashes
+        assert np.array_equal(res.level, ref)
+
+    def test_straggler_and_crash_stack_on_one_rank(self, g):
+        # both faults certain: every (rank, superstep) is simultaneously
+        # a straggler and a crash victim -- stretch and rollback compose
+        rt0 = _rt()
+        dm_bfs(g, rt0, root=0, variant="push")
+        res, rt = _bfs_levels(g, FaultPlan(seed=0, straggler=1.0, crash=1.0),
+                              RecoveryConfig())
+        step0 = {(e[1], e[2]) for e in rt.faults.schedule if e[0] == 0}
+        ranks = {p for kind, p in step0 if kind == "crash"}
+        assert any(("straggler", p) in step0 for p in ranks)
+        assert rt.time > rt0.time
+        assert np.array_equal(res.level, bfs_reference(g, 0))
+
 
 class TestStraggler:
     def test_straggler_never_speeds_up(self, g):
@@ -383,7 +439,9 @@ class TestOverheadAccounting:
         rt0 = _rt()
         base = dm_pagerank(g, rt0, variant="rma-push", iterations=3)
         rt = _rt()
-        inj = attach_fault_injector(rt, FaultPlan(seed=9))
+        with pytest.warns(UserWarning, match="no-op chaos plan"):
+            empty = FaultPlan(seed=9)
+        inj = attach_fault_injector(rt, empty)
         res = dm_pagerank(g, rt, variant="rma-push", iterations=3)
         assert inj.stats.fired() == 0
         assert res.ranks.tobytes() == base.ranks.tobytes()

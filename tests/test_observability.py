@@ -188,9 +188,15 @@ class TestEventContent:
         assert all(ev.lane is None or 0 <= ev.lane < P for ev in recov)
         assert any(ev.lane is not None for ev in recov)
 
-    def test_faults_require_dm(self):
-        with pytest.raises(ValueError, match="requires --dm"):
-            run_traced("pagerank", faults=True)
+    def test_sm_faults_traced_and_reconciled(self):
+        # PR 8: --faults without --dm attaches the SM injector; fault
+        # events land in the trace and reconciliation still holds
+        rt, tracer, _variant, _result = run_traced("bfs", variant="push",
+                                                   faults=True)
+        kinds = {ev.kind for ev in tracer.events}
+        assert "fault" in kinds
+        traced, actual = tracer.reconcile()
+        assert traced.to_dict() == actual.to_dict()
 
 
 class TestMetricsRollup:

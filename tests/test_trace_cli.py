@@ -36,11 +36,14 @@ class TestTraceCommand:
         assert rc == 0
         assert "switch=" in capsys.readouterr().out
 
-    def test_faults_without_dm_is_an_error(self, capsys, tmp_path):
-        rc = main(["trace", "pagerank", "--faults",
+    def test_faults_without_dm_traces_sm_chaos(self, capsys, tmp_path):
+        # PR 8: --faults on the SM runtime attaches the SM injector
+        rc = main(["trace", "bfs", "--faults",
                    "--out", str(tmp_path / "t")])
-        assert rc == 2
-        assert "requires --dm" in capsys.readouterr().err
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault=" in out
+        assert "counter reconciliation: ok" in out
 
     def test_missing_algorithm_without_bench_is_an_error(self, capsys,
                                                          tmp_path):
