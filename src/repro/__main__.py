@@ -22,9 +22,15 @@ Commands
     instead.
 ``bench diff <baseline> <candidate> [--tolerance-pct N] [--markdown]``
     Semantic perf-baseline comparison: metric-by-metric diff of two
-    ``repro-bench/2`` documents with drift attributed to
+    ``repro-bench/*`` documents with drift attributed to
     cell -> phase -> counter; exits nonzero only on out-of-tolerance
     drift (:mod:`repro.observability.regress`).
+``bench speedup <doc> [--pairs push:pull,mp:rma,...] [--markdown]``
+    Config-vs-config comparison: join one (or, with ``--against``,
+    two) ``repro-bench/*`` documents' cells across a variant/runtime/
+    engine/family axis and emit deterministic winner-by-factor tables
+    with per-counter attribution -- the shape of the paper's
+    Figures 5-9 (:mod:`repro.observability.speedup`).
 """
 
 from __future__ import annotations
@@ -180,6 +186,25 @@ def _build_parser() -> argparse.ArgumentParser:
     bd.add_argument("--report", default=None, metavar="PATH",
                     help="also write the machine-readable verdict "
                          "(repro-benchdiff/1) to PATH")
+    bs = bsub.add_parser(
+        "speedup",
+        help="config-vs-config winner-by-factor tables (the shape of "
+             "the paper's Figures 5-9) with per-counter attribution")
+    bs.add_argument("doc", help="repro-bench document to analyze")
+    bs.add_argument("--against", default=None, metavar="PATH",
+                    help="second repro-bench document; its cells join "
+                         "the pool (e.g. an --engine batched sweep for "
+                         "an interpreted:batched pair)")
+    bs.add_argument("--pairs", default="push:pull",
+                    help="comma-separated a:b axis pairs, e.g. "
+                         "push:pull,sm:dm,mp:rma,interpreted:batched,"
+                         "baseline:large (default: push:pull)")
+    bs.add_argument("--markdown", action="store_true",
+                    help="print paper-style markdown tables instead of "
+                         "the plain summary")
+    bs.add_argument("--report", default=None, metavar="PATH",
+                    help="also write the machine-readable document "
+                         "(repro-speedup/1) to PATH")
     return ap
 
 
@@ -488,6 +513,9 @@ def main(argv=None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
     if args.command == "bench":
+        if args.bench_command == "speedup":
+            from repro.observability.speedup import speedup_main
+            return speedup_main(args)
         from repro.observability.regress import diff_main
         return diff_main(args)
     from repro.harness.run_all import main as run_all_main

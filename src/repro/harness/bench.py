@@ -14,6 +14,11 @@ Two cell families derived from one sweep:
     counter aggregates) -- the attribution surface ``repro bench diff``
     points at when a metric drifts;
   - the partition edge-cut next to the communication verb counts;
+  - the critical-path decomposition (compute / comm / sync / off-path
+    idle; the five on-path components sum to ``time_mtu``) and the
+    traffic-matrix totals, both verified against the tracer before the
+    cell is recorded -- the inputs ``repro bench speedup`` attributes
+    winners with;
   - the event-kind counts (trace shape).
 
   The family runs under either engine (``--engine batched`` swaps in
@@ -72,7 +77,9 @@ PERF_COUNTERS = (
 def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
               family: str, engine: str) -> dict:
     from repro.observability.driver import run_traced
-    from repro.observability.export import metrics_rollup
+    from repro.observability.export import (
+        critical_path, metrics_rollup, traffic_matrix,
+    )
 
     rt, tracer, resolved, _ = run_traced(
         algorithm, variant=variant, dm=(runtime == "dm"),
@@ -86,6 +93,21 @@ def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
             f"bench cell {algorithm}/{variant}/{runtime}/{family} "
             f"[{engine}]: tracer reconciliation failed")
     totals = tracer.traced_totals()
+    critical = critical_path(tracer)["totals"]
+    if not critical["reconciled"]:
+        raise RuntimeError(
+            f"bench cell {algorithm}/{variant}/{runtime}/{family} "
+            f"[{engine}]: critical-path decomposition "
+            f"({critical['decomposed_mtu']}) does not sum to the run "
+            f"time ({critical['time_mtu']})")
+    traffic = traffic_matrix(tracer)
+    for field, count in traffic["totals"].items():
+        if count != getattr(totals, field):
+            raise RuntimeError(
+                f"bench cell {algorithm}/{variant}/{runtime}/{family} "
+                f"[{engine}]: traffic matrix {field}={count} does not "
+                f"reconcile with the counter total "
+                f"{getattr(totals, field)}")
     kinds: dict[str, int] = {}
     for ev in tracer.events:
         kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
@@ -108,6 +130,10 @@ def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
         "counters": {k: v for k, v in totals.to_dict().items() if v},
         "phases": phases,
         "cut": tracer.cut,
+        "critical": {k: critical[k] for k in
+                     ("compute", "comm", "injected_stall", "sync",
+                      "recovery_stall", "off_path_idle")},
+        "traffic": {k: v for k, v in traffic["totals"].items() if v},
         "events": kinds,
     }
 
@@ -141,11 +167,14 @@ def perf_rollup(doc: dict) -> dict:
     cells = [{
         "algorithm": c["algorithm"],
         "variant": c["variant"],
+        "resolved_variant": c["resolved_variant"],
         "runtime": c["runtime"],
         "family": c["family"],
+        "machine": c["machine"],
         "time_mtu": c["time_mtu"],
         "counters": {k: c["counters"][k] for k in PERF_COUNTERS
                      if c["counters"].get(k)},
+        "critical": dict(c["critical"]),
     } for c in doc["cells"]]
     return {"schema": doc["schema"], "kind": "perf",
             "config": dict(doc["config"]), "cells": cells}

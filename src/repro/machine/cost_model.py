@@ -120,6 +120,48 @@ class MachineSpec:
             + c.flushes * self.w_flush
         )
 
+    def time_parts(self, c: PerfCounters) -> dict[str, float]:
+        """Per-counter decomposition of :meth:`time` (nonzero terms only).
+
+        The same weights as :meth:`time`, itemized: summing the values
+        reproduces ``time(c)`` up to float association.  The batched-
+        atomic rebate appears as a negative ``atomics_batched`` entry;
+        ``atomics`` is the *plain* (non-CAS, non-FAA) share.  This is
+        the attribution surface the comparative observability layer
+        uses to say *why* one configuration beats another -- which
+        counters the time difference actually lives in.
+        """
+        parts = {
+            "reads": c.reads * self.w_read,
+            "writes": c.writes * self.w_write,
+            "cas": c.cas * self.w_atomic,
+            "faa": c.faa * self.w_faa,
+            "atomics": (c.atomics - c.cas - c.faa) * self.w_atomic,
+            "atomics_batched": -c.atomics_batched * self.w_atomic
+            * (1.0 - self.atomic_batch_factor),
+            "locks": c.locks * self.w_lock,
+            "branches_cond": c.branches_cond * self.w_branch_cond,
+            "branches_uncond": c.branches_uncond * self.w_branch_uncond,
+            "l1_misses": c.l1_misses * self.w_l1_miss,
+            "l2_misses": c.l2_misses * self.w_l2_miss,
+            "l3_misses": c.l3_misses * self.w_l3_miss,
+            "tlb_d_misses": c.tlb_d_misses * self.w_tlb_miss,
+            "tlb_i_misses": c.tlb_i_misses * self.w_tlb_miss,
+            "flops": c.flops * self.w_flop,
+            "barriers": c.barriers * self.w_barrier,
+            "messages": c.messages * self.net_alpha,
+            "msg_bytes": c.msg_bytes * self.net_beta,
+            "collectives": c.collectives * self.w_collective,
+            "collective_bytes": c.collective_bytes * self.net_beta,
+            "remote_gets": c.remote_gets * self.w_remote_get,
+            "remote_puts": c.remote_puts * self.w_remote_put,
+            "remote_acc_int": c.remote_acc_int * self.w_remote_acc_int,
+            "remote_acc_float": c.remote_acc_float * self.w_remote_acc_float,
+            "remote_bytes": c.remote_bytes * self.net_beta,
+            "flushes": c.flushes * self.w_flush,
+        }
+        return {k: v for k, v in parts.items() if v}
+
     def with_(self, **kwargs) -> "MachineSpec":
         """A copy with some weights replaced (for ablation sweeps)."""
         return replace(self, **kwargs)

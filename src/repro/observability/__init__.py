@@ -20,7 +20,8 @@ runtimes the same attribution surface:
   JSON (``chrome://tracing`` / Perfetto, one lane per thread or rank),
   a flat JSONL event log, and a metrics rollup (counter time-series per
   region/superstep, per-phase Table-1 cache columns, partition
-  edge-cut; schema ``repro-metrics/2``).
+  edge-cut, per-rank-pair traffic matrix, critical-path decomposition,
+  switch decisions; schema ``repro-metrics/3``).
 * :mod:`repro.observability.hwcounters` -- cache-counter attribution:
   :func:`equip_cache_sim` swaps the trace-driven cache/TLB simulator
   into a runtime so every span delta carries L1/L2/L3/TLB miss counts;
@@ -32,6 +33,10 @@ runtimes the same attribution surface:
 * :mod:`repro.observability.regress` -- semantic perf-baseline diffing
   (``repro bench diff``): metric-by-metric comparison with tolerances,
   drift attributed to cell -> phase -> counter.
+* :mod:`repro.observability.speedup` -- comparative analysis
+  (``repro bench speedup``): config-vs-config winner-by-factor tables
+  (the shape of the paper's Figures 5-9) with per-counter attribution
+  of why the winner wins (schema ``repro-speedup/1``).
 * :mod:`repro.observability.driver` -- the ``python -m repro trace``
   entry point: run one kernel under a tracer and write all exports.
 
@@ -42,8 +47,8 @@ Profile` view renders without pulling chart code unless asked to.
 
 from repro.observability.events import SCHEMA, TraceEvent
 from repro.observability.export import (
-    METRICS_SCHEMA, chrome_trace, metrics_rollup, to_jsonl_lines,
-    write_outputs,
+    METRICS_SCHEMA, chrome_trace, critical_path, metrics_rollup,
+    to_jsonl_lines, traffic_matrix, write_outputs,
 )
 from repro.observability.flame import folded_stacks, write_flame
 from repro.observability.hwcounters import (
@@ -53,6 +58,7 @@ from repro.observability.regress import (
     BENCHDIFF_SCHEMA, BenchDiff, BenchDiffError, Drift, diff_bench,
     diff_paths, load_baseline,
 )
+from repro.observability.speedup import SPEEDUP_SCHEMA, build_speedup
 from repro.observability.tracer import Tracer, attach_tracer, edge_cut
 
 __all__ = [
@@ -62,10 +68,13 @@ __all__ = [
     "Drift",
     "METRICS_SCHEMA",
     "SCHEMA",
+    "SPEEDUP_SCHEMA",
     "TraceEvent",
     "Tracer",
     "attach_tracer",
+    "build_speedup",
     "chrome_trace",
+    "critical_path",
     "diff_bench",
     "diff_paths",
     "edge_cut",
@@ -76,6 +85,7 @@ __all__ = [
     "miss_asymmetry",
     "miss_rates",
     "to_jsonl_lines",
+    "traffic_matrix",
     "write_flame",
     "write_outputs",
 ]

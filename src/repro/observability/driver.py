@@ -191,7 +191,15 @@ def trace_main(args) -> int:
     traced, actual = tracer.reconcile()
     status = "ok" if traced.to_dict() == actual.to_dict() else "MISMATCH"
     print(f"  counter reconciliation: {status}")
+    from repro.observability.export import critical_path
+    crit = critical_path(tracer)["totals"]
+    tstatus = "ok" if crit["reconciled"] else "MISMATCH"
+    print(f"  time decomposition: {tstatus} "
+          f"(compute={crit['compute']:,.0f} comm={crit['comm']:,.0f} "
+          f"sync={crit['sync']:,.0f} "
+          f"stall={crit['injected_stall'] + crit['recovery_stall']:,.0f} "
+          f"off-path={crit['off_path_idle']:,.0f})")
     for key in ("jsonl", "chrome", "metrics", "flame"):
         if key in paths:
             print(f"  {key}: {paths[key]}")
-    return 0 if status == "ok" else 1
+    return 0 if status == "ok" and tstatus == "ok" else 1

@@ -11,8 +11,10 @@ weight.  We fold the simulated timeline as::
 * ``<lane>`` is ``thread N`` / ``rank N``;
 * ``<phase>`` is the region/superstep label the kernel declared via
   ``rt.annotate`` (``pr.pull``, ``bfs.kfilter [seq]``, ...), or one of
-  the synthetic frames ``[idle]`` (the lane's slack inside a region
-  whose critical path was another lane), ``[barrier]`` and ``[stall]``
+  the synthetic frames ``[off-path]`` (the lane's slack inside a region
+  whose critical path was another lane -- exactly the
+  ``off_path_idle`` total of :func:`repro.observability.export.
+  critical_path`), ``[barrier]`` and ``[stall]``
   (synchronization / recovery waits).  ``[stall]`` appears two ways:
   barrier-gating recovery stalls land on every lane, while per-lane
   injected span stretch (SM stragglers, lock-preempt waits -- the
@@ -58,7 +60,7 @@ def folded_stacks(tracer) -> list[str]:
                 st = min(stalls[t], w) if stalls else 0.0
                 add(lanes[t], ev.label, w - st)
                 add(lanes[t], "[stall]", st)
-                add(lanes[t], "[idle]", ev.dur - w)
+                add(lanes[t], "[off-path]", ev.dur - w)
         elif ev.kind == "barrier":
             for lane in lanes:
                 add(lane, "[barrier]", ev.dur)

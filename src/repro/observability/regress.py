@@ -45,7 +45,7 @@ class Drift:
     """One metric that differs between baseline and candidate."""
 
     cell: str                #: "algorithm/variant/runtime"
-    scope: str               #: cell | phase | events | structure
+    scope: str               #: cell | phase | events | critical | traffic | structure
     phase: str | None        #: phase label for scope == "phase"
     metric: str              #: time_mtu, a counter name, or an event kind
     baseline: float
@@ -292,6 +292,14 @@ def diff_bench(baseline: dict, candidate: dict,
                       c.get("events", {}), tolerance_pct)
         _compare_dict(drifts, key, "cell", None,
                       b.get("cut") or {}, c.get("cut") or {}, tolerance_pct)
+        # PR 9 cell blocks: the critical-path decomposition and the
+        # traffic-matrix totals drift-gate like any other metric
+        _compare_dict(drifts, key, "critical", None,
+                      b.get("critical") or {}, c.get("critical") or {},
+                      tolerance_pct)
+        _compare_dict(drifts, key, "traffic", None,
+                      b.get("traffic") or {}, c.get("traffic") or {},
+                      tolerance_pct)
         bp = {p["label"]: p for p in b.get("phases", [])}
         cp = {p["label"]: p for p in c.get("phases", [])}
         for label in sorted(set(bp) | set(cp)):

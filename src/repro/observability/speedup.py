@@ -1,0 +1,345 @@
+"""Config-vs-config speedup tables (``repro bench speedup``).
+
+The paper's headline results are *comparative* -- Figures 5-9 report
+who wins (push vs. pull, MP vs. RMA, per machine and scale) and by
+what factor.  ``repro bench diff`` can only compare a configuration
+against its own committed baseline; this module joins the cells of one
+(or two) ``repro-bench/*`` documents across a chosen *axis* and emits
+deterministic "winner by factor" tables with per-counter attribution
+of why the winner wins -- the ``repro-speedup/1`` document.
+
+A *pair* is ``a:b`` where both tokens name values of one cell axis:
+
+========== ==========================================================
+axis       tokens
+========== ==========================================================
+variant    ``push`` ``pull`` ``push-pa`` ``switching`` ``mp``
+runtime    ``sm`` ``dm``
+engine     ``interpreted`` ``batched``
+family     ``baseline`` ``large``
+resolved   anything else: prefix-matched against ``resolved_variant``
+           (``mp:rma`` compares the message-passing DM backend with
+           the best one-sided one, Figure 3's MP >> RMA comparison)
+========== ==========================================================
+
+Cells are grouped by every key field *except* the pair's axis (the
+same algorithm/variant/runtime/family key ``repro bench diff`` uses);
+within a group the fastest matching cell represents each side, so a
+``resolved`` token matching several cells (``rma`` -> ``rma-push`` and
+``rma-pull``) compares against the best of them.  A group where one
+side has no cell becomes a *hole* -- reported in the document and the
+markdown, never an error: the committed baseline legitimately has no
+``mp`` cells, and the large family no DM cells.
+
+The per-row ``attribution`` applies the machine's per-counter time
+weights (:meth:`repro.machine.cost_model.MachineSpec.time_parts`) to
+both sides' counter totals and ranks the differences: it decomposes
+the gap in *lane-summed work time* (counters are summed over lanes,
+while ``time_mtu`` is the BSP max), so it is directional -- it names
+the counters the gap lives in (atomics vs. remote_bytes vs. cache
+misses), not an exact partition of the factor.
+
+Schema-version mismatches between the two documents fail fast with the
+same ``regenerate the older document`` message as ``repro bench diff``
+(CLI exit code 2) instead of joining incomparable cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields as dataclass_fields
+
+from repro.machine.counters import PerfCounters
+from repro.machine.cost_model import MACHINES
+from repro.observability.regress import BenchDiffError, load_baseline
+
+#: versioned schema tag of the speedup document
+SPEEDUP_SCHEMA = "repro-speedup/1"
+
+#: the cell axes a pair token can select, with their legal tokens
+AXIS_TOKENS = {
+    "variant": ("push", "pull", "push-pa", "switching", "mp"),
+    "runtime": ("sm", "dm"),
+    "engine": ("interpreted", "batched"),
+    "family": ("baseline", "large"),
+}
+
+#: how many weighted counter deltas each row's attribution keeps
+ATTRIBUTION_TOP = 6
+
+_COUNTER_FIELDS = {f.name for f in dataclass_fields(PerfCounters)}
+
+
+def _axis_of(a: str, b: str) -> str:
+    for axis, tokens in AXIS_TOKENS.items():
+        if a in tokens and b in tokens:
+            return axis
+    return "resolved"
+
+
+def _matches(cell: dict, axis: str, token: str) -> bool:
+    if axis == "variant":
+        return cell.get("variant") == token
+    if axis == "runtime":
+        return cell.get("runtime") == token
+    if axis == "engine":
+        return cell.get("engine") == token
+    if axis == "family":
+        return cell.get("family", "baseline") == token
+    resolved = cell.get("resolved_variant", cell.get("variant", ""))
+    return resolved == token or resolved.startswith(token + "-")
+
+
+def _group_key(cell: dict, axis: str) -> str:
+    parts = {
+        "algorithm": cell.get("algorithm", "?"),
+        "variant": cell.get("variant", "?"),
+        "runtime": cell.get("runtime", "?"),
+        "family": cell.get("family", "baseline"),
+    }
+    if axis in parts:
+        parts[axis] = "*"
+    elif axis == "resolved":
+        parts["variant"] = "*"
+    return "/".join(parts.values())
+
+
+def _side(token: str, cell: dict) -> dict:
+    side = {
+        "token": token,
+        "variant": cell.get("variant"),
+        "resolved_variant": cell.get("resolved_variant",
+                                     cell.get("variant")),
+        "runtime": cell.get("runtime"),
+        "engine": cell.get("engine"),
+        "family": cell.get("family", "baseline"),
+        "time_mtu": float(cell["time_mtu"]),
+    }
+    if "critical" in cell:
+        side["critical"] = cell["critical"]
+    return side
+
+
+def _counters(d: dict) -> PerfCounters:
+    return PerfCounters(**{k: v for k, v in d.items()
+                           if k in _COUNTER_FIELDS})
+
+
+def _attribution(left: dict, right: dict) -> dict:
+    """Ranked per-counter time deltas (left minus right).
+
+    A positive delta means the left side spends more on that counter.
+    With a known machine the deltas are in weighted mtu of lane-summed
+    work; an unknown machine falls back to raw count differences.
+    """
+    lc, rc = left.get("counters", {}), right.get("counters", {})
+    machine = MACHINES.get(str(left.get("machine", "")).split("/")[0])
+    if machine is None:
+        deltas = {k: float(lc.get(k, 0)) - float(rc.get(k, 0))
+                  for k in set(lc) | set(rc) if k in _COUNTER_FIELDS}
+        unit = "count"
+    else:
+        lp = machine.time_parts(_counters(lc))
+        rp = machine.time_parts(_counters(rc))
+        deltas = {k: lp.get(k, 0.0) - rp.get(k, 0.0)
+                  for k in set(lp) | set(rp)}
+        unit = "mtu"
+    top = sorted((k for k in deltas if deltas[k]),
+                 key=lambda k: (-abs(deltas[k]), k))[:ATTRIBUTION_TOP]
+    return {"unit": unit,
+            "leaders": [{"counter": k, "delta": deltas[k]} for k in top]}
+
+
+def _row(pair: str, axis: str, key: str, a: str, b: str,
+         left: dict, right: dict) -> dict:
+    lt, rt = float(left["time_mtu"]), float(right["time_mtu"])
+    winner = a if lt <= rt else b
+    slower, faster = max(lt, rt), min(lt, rt)
+    return {
+        "pair": pair,
+        "axis": axis,
+        "key": key,
+        "left": _side(a, left),
+        "right": _side(b, right),
+        "winner": winner,
+        "factor": (slower / faster) if faster > 0 else None,
+        "attribution": _attribution(left, right),
+    }
+
+
+def _parse_pairs(spec) -> list[tuple[str, str]]:
+    tokens = []
+    items = spec.split(",") if isinstance(spec, str) else list(spec)
+    for item in items:
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split(":")
+        if len(parts) != 2 or not all(parts) or parts[0] == parts[1]:
+            raise BenchDiffError(
+                f"bad pair {item!r}: expected two distinct axis tokens "
+                f"as 'a:b' (e.g. push:pull, sm:dm, mp:rma)")
+        tokens.append((parts[0], parts[1]))
+    if not tokens:
+        raise BenchDiffError("no pairs given")
+    return tokens
+
+
+def speedup_cells(cells: list[dict], pairs) -> dict:
+    """Join ``cells`` over every pair; returns the rows/holes core."""
+    rows: list[dict] = []
+    holes: list[dict] = []
+    covered: set[int] = set()
+    parsed = _parse_pairs(pairs)
+    for a, b in parsed:
+        pair = f"{a}:{b}"
+        axis = _axis_of(a, b)
+        groups: dict[str, dict[str, list]] = {}
+        for i, cell in enumerate(cells):
+            for side, token in (("left", a), ("right", b)):
+                if _matches(cell, axis, token):
+                    g = groups.setdefault(_group_key(cell, axis),
+                                          {"left": [], "right": []})
+                    g[side].append((i, cell))
+        for key in sorted(groups):
+            g = groups[key]
+            if not g["left"] or not g["right"]:
+                missing = "left" if not g["left"] else "right"
+                holes.append({
+                    "pair": pair, "key": key, "missing": missing,
+                    "missing_token": a if missing == "left" else b,
+                    "present_cells": len(g["left"]) + len(g["right"]),
+                })
+                continue
+            li, lc = min(g["left"], key=lambda ic: float(ic[1]["time_mtu"]))
+            ri, rc = min(g["right"], key=lambda ic: float(ic[1]["time_mtu"]))
+            covered.update(i for i, _ in g["left"])
+            covered.update(i for i, _ in g["right"])
+            rows.append(_row(pair, axis, key, a, b, lc, rc))
+    rows.sort(key=lambda r: (r["pair"], r["key"]))
+    holes.sort(key=lambda h: (h["pair"], h["key"]))
+    return {"pairs": [f"{a}:{b}" for a, b in parsed], "rows": rows,
+            "holes": holes, "cells_covered": len(covered),
+            "cells_total": len(cells)}
+
+
+def build_speedup(source_path: str, against_path: str | None = None,
+                  pairs="push:pull") -> dict:
+    """Load, validate, join; returns the ``repro-speedup/1`` document.
+
+    Raises :class:`BenchDiffError` on malformed input, a bad pair
+    spec, or a schema-version mismatch between the two documents.
+    """
+    source = load_baseline(source_path)
+    cells = list(source["cells"])
+    meta = {"source": {"path": source_path,
+                       "schema": source.get("schema"),
+                       "kind": source.get("kind", "trace"),
+                       "cells": len(cells)}}
+    if against_path is not None:
+        against = load_baseline(against_path)
+        if against.get("schema") != source.get("schema"):
+            raise BenchDiffError(
+                f"schema mismatch: {source_path!r} is "
+                f"{source.get('schema')!r}, {against_path!r} is "
+                f"{against.get('schema')!r} -- regenerate the older "
+                f"document before comparing")
+        meta["against"] = {"path": against_path,
+                           "schema": against.get("schema"),
+                           "kind": against.get("kind", "trace"),
+                           "cells": len(against["cells"])}
+        cells += list(against["cells"])
+    doc = {"schema": SPEEDUP_SCHEMA, **meta}
+    doc.update(speedup_cells(cells, pairs))
+    return doc
+
+
+def _fmt(v: float) -> str:
+    return f"{v:,.0f}"
+
+
+def markdown(doc: dict) -> str:
+    """Paper-style winner-by-factor tables, one section per pair."""
+    lines = ["# Speedup tables (repro-speedup/1)", ""]
+    for pair in doc["pairs"]:
+        a, b = pair.split(":")
+        rows = [r for r in doc["rows"] if r["pair"] == pair]
+        holes = [h for h in doc["holes"] if h["pair"] == pair]
+        lines += [f"## {a} vs {b}", ""]
+        if rows:
+            lines += [
+                f"| cell | {a} (mtu) | {b} (mtu) | winner | factor "
+                f"| why (top weighted counter deltas) |",
+                "|---|---:|---:|---|---:|---|",
+            ]
+            for r in rows:
+                why = ", ".join(
+                    f"{ld['counter']} {ld['delta']:+,.0f}"
+                    for ld in r["attribution"]["leaders"][:3]) or "—"
+                factor = ("n/a" if r["factor"] is None
+                          else f"{r['factor']:.2f}x")
+                lines.append(
+                    f"| {r['key']} | {_fmt(r['left']['time_mtu'])} "
+                    f"| {_fmt(r['right']['time_mtu'])} | {r['winner']} "
+                    f"| {factor} | {why} |")
+            lines.append("")
+        for h in holes:
+            lines.append(f"- hole: {h['key']} has no "
+                         f"`{h['missing_token']}` cell "
+                         f"({h['present_cells']} on the other side)")
+        if holes:
+            lines.append("")
+        if not rows and not holes:
+            lines += ["no cells match either side of this pair", ""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def summary(doc: dict) -> list[str]:
+    """One line per row/hole for the plain CLI output."""
+    out = [f"bench speedup: {len(doc['rows'])} comparison(s), "
+           f"{len(doc['holes'])} hole(s), "
+           f"{doc['cells_covered']}/{doc['cells_total']} cells covered"]
+    for r in doc["rows"]:
+        lead = r["attribution"]["leaders"]
+        why = f" ({lead[0]['counter']})" if lead else ""
+        factor = "n/a" if r["factor"] is None else f"{r['factor']:.2f}x"
+        out.append(f"  [{r['pair']}] {r['key']}: {r['winner']} wins "
+                   f"by {factor}{why}")
+    for h in doc["holes"]:
+        out.append(f"  [{h['pair']}] {h['key']}: hole -- no "
+                   f"{h['missing_token']!r} cell")
+    return out
+
+
+def speedup_main(args) -> int:
+    """Back the ``repro bench speedup`` CLI subcommand."""
+    import sys
+
+    try:
+        doc = build_speedup(args.doc, against_path=args.against,
+                            pairs=args.pairs)
+    except BenchDiffError as exc:
+        print(f"bench speedup: error: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=1, allow_nan=False)
+            fh.write("\n")
+    if args.markdown:
+        print(markdown(doc), end="")
+    else:
+        for line in summary(doc):
+            print(line)
+    return 0
+
+
+__all__ = [
+    "ATTRIBUTION_TOP",
+    "AXIS_TOKENS",
+    "SPEEDUP_SCHEMA",
+    "build_speedup",
+    "markdown",
+    "speedup_cells",
+    "speedup_main",
+    "summary",
+]

@@ -204,10 +204,22 @@ class Tracer:
                    data={"tag": _plain(tag), "messages": int(count)})
 
     def on_rma(self, verb: str, rank: int, owner: int, window,
-               nitems: int, dtype: str | None) -> None:
+               nitems: int, dtype: str | None, nbytes: int | None = None,
+               ops: int | None = None) -> None:
+        """One RMA verb.  ``nbytes``/``ops`` mirror what the runtime
+        charges to ``remote_bytes`` and the verb counter (``rma_get``
+        may fetch many items in one get, an accumulate is one op per
+        item), so the per-rank-pair traffic matrix reconciles exactly
+        against the counters; a local verb (``owner == rank``) charges
+        plain memory traffic instead and is excluded from the matrix."""
+        data = {"owner": int(owner), "window": _window_name(window),
+                "items": int(nitems), "dtype": dtype}
+        if nbytes is not None:
+            data["nbytes"] = int(nbytes)
+        if ops is not None:
+            data["ops"] = int(ops)
         self._emit("rma", ts=self._now(rank), lane=rank, label=verb,
-                   data={"owner": int(owner), "window": _window_name(window),
-                         "items": int(nitems), "dtype": dtype})
+                   data=data)
 
     def on_flush(self, rank: int, owner: int | None) -> None:
         self._emit("flush", ts=self._now(rank), lane=rank, label="flush",
@@ -243,6 +255,24 @@ class Tracer:
         instrumented kernels maintain.
         """
         return self.traced_totals(), self.rt.total_counters() - self.start_counters
+
+    def reconcile_time(self) -> tuple[float, float]:
+        """(decomposed, actual) simulated-time totals since attach/reset.
+
+        The decomposed total sums every timed event in emission order --
+        region/superstep spans, recovery stalls, barrier episodes --
+        which is exactly the partition the critical-path attribution
+        (:func:`repro.observability.export.critical_path`) refines into
+        critical-compute / critical-comm / sync components.  The two
+        totals agree to float associativity (the DM runtime adds
+        ``span + stall + barrier`` in one expression), so callers
+        compare with a tight relative tolerance rather than ``==``.
+        """
+        decomposed = 0.0
+        for ev in self.events:
+            if ev.kind in ("region", "superstep", "stall", "barrier"):
+                decomposed += ev.dur
+        return decomposed, self.rt.time - self.start_time
 
 
 def _plain(v):

@@ -332,7 +332,8 @@ class DMRuntime:
             self.observer.on_rma("get", self.rank, owner, window, idx, None)
         self._remote_op(owner, "remote_gets", nitems * itemsize, op_count=ops)
         if self.tracer is not None:
-            self.tracer.on_rma("get", self.rank, owner, window, nitems, None)
+            self.tracer.on_rma("get", self.rank, owner, window, nitems, None,
+                               nbytes=nitems * itemsize, ops=ops)
 
     def rma_put(self, owner: int, nitems: int, itemsize: int = 8,
                 ops: int = 1, window=None, idx=None) -> None:
@@ -341,7 +342,8 @@ class DMRuntime:
         self._remote_op(owner, "remote_puts", nitems * itemsize, op_count=ops,
                         local_kind="write")
         if self.tracer is not None:
-            self.tracer.on_rma("put", self.rank, owner, window, nitems, None)
+            self.tracer.on_rma("put", self.rank, owner, window, nitems, None,
+                               nbytes=nitems * itemsize, ops=ops)
 
     def rma_accumulate(self, owner: int, nitems: int, dtype: str = "float",
                        itemsize: int = 8, window=None, idx=None) -> None:
@@ -358,7 +360,8 @@ class DMRuntime:
         self._remote_op(owner, attr, nitems * itemsize, op_count=nitems,
                         local_kind="faa" if dtype != "float" else "cas")
         if self.tracer is not None:
-            self.tracer.on_rma("acc", self.rank, owner, window, nitems, dtype)
+            self.tracer.on_rma("acc", self.rank, owner, window, nitems, dtype,
+                               nbytes=nitems * itemsize, ops=nitems)
 
     def rma_flush(self, owner: int | None = None) -> None:
         """Complete this process's outstanding staged puts/accumulates."""
@@ -396,7 +399,8 @@ class DMRuntime:
         self._remote_op(owner, "remote_puts", op_count * itemsize,
                         op_count=op_count, local_kind="write")
         if self.tracer is not None:
-            self.tracer.on_rma("put", self.rank, owner, window, op_count, None)
+            self.tracer.on_rma("put", self.rank, owner, window, op_count, None,
+                               nbytes=op_count * itemsize, ops=op_count)
         self._stage_or_apply("put", owner, window, idx, vals, None,
                              op_count, op_count * itemsize)
 
@@ -423,7 +427,9 @@ class DMRuntime:
         self._remote_op(owner, attr, op_count * itemsize, op_count=op_count,
                         local_kind="faa" if dtype != "float" else "cas")
         if self.tracer is not None:
-            self.tracer.on_rma("acc", self.rank, owner, window, op_count, dtype)
+            self.tracer.on_rma("acc", self.rank, owner, window, op_count,
+                               dtype, nbytes=op_count * itemsize,
+                               ops=op_count)
         self._stage_or_apply("acc", owner, window, idx, vals, dtype,
                              op_count, op_count * itemsize)
 

@@ -103,6 +103,14 @@ class TestDiffBench:
         with pytest.raises(BenchDiffError, match="schema mismatch"):
             diff_bench(baseline, mut)
 
+    def test_schema_mismatch_raises_both_ways(self, baseline):
+        # an outdated *baseline* against a current candidate must fail
+        # just as fast as the reverse -- the gate is direction-agnostic
+        mut = copy.deepcopy(baseline)
+        mut["schema"] = "repro-bench/2"
+        with pytest.raises(BenchDiffError, match="schema mismatch"):
+            diff_bench(mut, baseline)
+
     def test_config_mismatch_raises(self, baseline):
         mut = copy.deepcopy(baseline)
         mut["config"]["n"] = 128
@@ -207,5 +215,14 @@ class TestDiffCli:
         mut["schema"] = "repro-bench/1"
         cand = self._write(tmp_path, "old.json", mut)
         rc = main(["bench", "diff", str(ROOT / "BENCH_trace.json"), cand])
+        assert rc == 2
+        assert "schema mismatch" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_two_as_baseline(self, capsys, baseline,
+                                                   tmp_path):
+        mut = copy.deepcopy(baseline)
+        mut["schema"] = "repro-bench/2"
+        old = self._write(tmp_path, "old.json", mut)
+        rc = main(["bench", "diff", old, str(ROOT / "BENCH_trace.json")])
         assert rc == 2
         assert "schema mismatch" in capsys.readouterr().err

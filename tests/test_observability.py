@@ -16,6 +16,7 @@ exporter edge cases (empty traces, zero-duration spans).
 from __future__ import annotations
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -248,7 +249,7 @@ class TestCacheCounters:
     def test_rollup_cache_view_is_schema_complete(self):
         from repro.observability.hwcounters import TABLE1_COLUMNS
         roll = metrics_rollup(_trace("pagerank", variant="pull"))
-        assert roll["schema"] == "repro-metrics/2"
+        assert roll["schema"] == "repro-metrics/3"
         view = roll["cache"]
         assert view["columns"] == list(TABLE1_COLUMNS) + ["l1_per_read"]
         labels = {r["label"] for r in view["rows"]}
@@ -297,6 +298,148 @@ class TestEdgeCut:
         assert roll["cut"]["edges_total"] > roll["cut"]["edges_cross"] > 0
 
 
+class TestCriticalPath:
+    """rollup["critical_path"]: decomposition sums exactly to run time
+    and per-lane busy/idle splits close against it (PR 9)."""
+
+    @staticmethod
+    def _crit(tracer):
+        from repro.observability import critical_path
+        return critical_path(tracer)
+
+    def test_sm_decomposition_sums_to_run_time(self):
+        crit = self._crit(_trace("pagerank", variant="pull"))
+        t = crit["totals"]
+        assert t["reconciled"]
+        assert t["comm"] == 0.0  # SM pays no per-verb network charges
+        assert t["compute"] > 0 and t["sync"] > 0
+        on_path = (t["compute"] + t["comm"] + t["injected_stall"]
+                   + t["sync"] + t["recovery_stall"])
+        assert math.isclose(on_path, t["time_mtu"], rel_tol=1e-9,
+                            abs_tol=1e-6)
+
+    def test_dm_decomposition_attributes_comm(self):
+        t = self._crit(_trace("pagerank", variant="push", dm=True))["totals"]
+        assert t["reconciled"] and t["comm"] > 0
+
+    def test_per_lane_identity(self):
+        for dm in (False, True):
+            crit = self._crit(_trace("bfs", variant="push", dm=dm))
+            t = crit["totals"]
+            off = t["sync"] + t["recovery_stall"]
+            for lane in crit["lanes"]:
+                assert math.isclose(lane["busy"] + lane["idle"] + off,
+                                    t["time_mtu"], rel_tol=1e-9,
+                                    abs_tol=1e-6), lane
+            assert math.isclose(sum(la["idle"] for la in crit["lanes"]),
+                                t["off_path_idle"], rel_tol=1e-9,
+                                abs_tol=1e-6)
+
+    def test_fault_runs_still_reconcile(self):
+        t = self._crit(
+            _trace("pagerank", variant="push", dm=True, faults=True))["totals"]
+        assert t["reconciled"] and t["recovery_stall"] > 0
+        t = self._crit(_trace("bfs", variant="push", faults=True))["totals"]
+        assert t["reconciled"]
+
+    def test_single_lane_run_has_no_off_path_idle(self):
+        t = self._crit(_trace("pagerank", variant="push", P=1))["totals"]
+        assert t["reconciled"] and t["off_path_idle"] == 0.0
+
+    def test_rollup_carries_decomposition(self):
+        roll = metrics_rollup(_trace("sssp", variant="push", dm=True))
+        crit = roll["critical_path"]
+        assert crit["totals"]["reconciled"]
+        assert crit["intervals"] and crit["lanes"]
+        for iv in crit["intervals"]:
+            assert iv["compute"] + iv["comm"] + iv["injected"] <= \
+                iv["time"] * (1 + 1e-9)
+
+
+class TestTrafficMatrix:
+    """rollup["traffic"]: per-rank-pair verb/byte matrix reconciles
+    exactly with the run counters and the cut bound (PR 9)."""
+
+    def test_totals_reconcile_exactly(self):
+        from repro.observability import traffic_matrix
+        from repro.observability.export import _TRAFFIC_TOTALS
+        for variant in ("push", "pull"):
+            tracer = _trace("pagerank", variant=variant, dm=True)
+            tm = traffic_matrix(tracer)
+            totals = tracer.rt.total_counters()
+            for counter in _TRAFFIC_TOTALS.values():
+                assert tm["totals"][counter] == getattr(totals, counter), \
+                    counter
+
+    def test_row_sums_match_per_rank_counters(self):
+        from repro.observability import traffic_matrix
+        tracer = _trace("pagerank", variant="pull", dm=True)
+        tm = traffic_matrix(tracer)
+        rt = tracer.rt
+        for rank in range(rt.P):
+            row = [p for p in tm["pairs"] if p["src"] == rank]
+            assert sum(p["rma_bytes"] for p in row) == \
+                rt.proc_counters[rank].remote_bytes
+            assert sum(p["gets"] for p in row) == \
+                rt.proc_counters[rank].remote_gets
+
+    def test_matrix_satisfies_cut_bound(self):
+        # the matrix totals feed dm_crosscheck exactly like the run
+        # counters do: the traced traffic obeys the cut-based bound
+        from repro.analysis.crosscheck import dm_crosscheck
+        from repro.machine.counters import PerfCounters
+        from repro.observability import traffic_matrix
+        tracer = _trace("pagerank", variant="push", dm=True, iterations=5)
+        tm = traffic_matrix(tracer)
+        roll = metrics_rollup(tracer)
+        run_totals = tracer.rt.total_counters()
+        c = PerfCounters(
+            **dict(tm["totals"]),
+            collectives=run_totals.collectives,
+            collective_bytes=run_totals.collective_bytes,
+        )
+        check = dm_crosscheck(
+            "pagerank", "rma-push", c,
+            m_cross=roll["cut"]["edges_cross"], P=tracer.rt.P,
+            supersteps=tracer.rt.superstep_index, rounds=5)
+        assert check.ok, check
+
+    def test_local_verbs_excluded(self):
+        # owner == issuing rank verbs charge no remote counters; the
+        # matrix must skip them (no src == dst pairs) yet still close
+        from repro.observability import traffic_matrix
+        tracer = _trace("pagerank", variant="push", dm=True)
+        local = [ev for ev in tracer.events if ev.kind == "rma"
+                 and ev.data["owner"] == ev.lane]
+        assert local, "expected owner-local verbs in the trace"
+        tm = traffic_matrix(tracer)
+        assert all(p["src"] != p["dst"] for p in tm["pairs"])
+
+    def test_sm_matrix_is_empty(self):
+        from repro.observability import traffic_matrix
+        tm = traffic_matrix(_trace("pagerank", variant="push"))
+        assert tm["pairs"] == []
+        assert all(v == 0 for v in tm["totals"].values())
+
+
+class TestSwitchesInRollup:
+    """Direction-switch decisions with operands surface in the rollup."""
+
+    def test_switching_bfs_exposes_operands(self):
+        tracer = _trace("bfs", variant="switching")
+        roll = metrics_rollup(tracer)
+        events = [ev for ev in tracer.events if ev.kind == "switch"]
+        assert len(roll["switches"]) == len(events) > 0
+        for sw in roll["switches"]:
+            assert {"ts", "iteration", "previous", "chosen"} <= set(sw)
+        assert any(sw["previous"] != sw["chosen"]
+                   for sw in roll["switches"])
+
+    def test_non_switching_run_has_empty_list(self):
+        roll = metrics_rollup(_trace("bfs", variant="push"))
+        assert roll["switches"] == []
+
+
 def tracer_graph():
     """The instance every default ``run_traced`` call traces."""
     from repro.analysis.runner import instance_graph
@@ -322,13 +465,31 @@ class TestExporterEdgeCases:
         assert all(ev["ph"] == "M" for ev in chrome["traceEvents"])
         roll = metrics_rollup(tracer)
         for key in ("schema", "meta", "time_mtu", "steps", "series",
-                    "phases", "cache", "cut", "comm", "frontier", "totals"):
+                    "phases", "cache", "cut", "comm", "frontier", "totals",
+                    "traffic", "switches", "critical_path"):
             assert key in roll
         assert roll["steps"] == [] and roll["cache"]["rows"] == []
+        assert roll["traffic"]["pairs"] == [] and roll["switches"] == []
+        crit = roll["critical_path"]["totals"]
+        assert crit["reconciled"] and crit["time_mtu"] == 0.0
         assert roll["cut"]["edges_total"] > 0
         paths = write_outputs(tracer, str(tmp_path / "empty"), flame=True)
         assert Path(paths["flame"]).read_text() == ""
         json.loads(Path(paths["chrome"]).read_text())
+        json.loads(Path(paths["metrics"]).read_text())
+
+    def test_fault_only_trace_exports_are_valid(self, tiny_graph, tmp_path):
+        # a trace holding nothing but fault events (no spans, no
+        # barriers) still rolls up: zero time, empty traffic, a
+        # reconciled all-zero critical path
+        tracer = self._empty_tracer(tiny_graph)
+        tracer.on_fault("message_drop", (1, 2, "payload"), 0)
+        tracer.on_fault("rma_lost", (3,), 1)
+        roll = metrics_rollup(tracer)
+        assert roll["time_mtu"] == 0.0
+        assert roll["traffic"]["pairs"] == []
+        assert roll["critical_path"]["totals"]["reconciled"]
+        paths = write_outputs(tracer, str(tmp_path / "faulty"), flame=True)
         json.loads(Path(paths["metrics"]).read_text())
 
     def test_zero_duration_spans_not_exported_as_empty_boxes(self):

@@ -1,0 +1,255 @@
+"""Tests for the comparative analysis layer (``repro bench speedup``).
+
+PR 9's acceptance surface: joining the committed ``repro-bench/3``
+cells across the variant / runtime / engine / family axes must emit a
+deterministic ``repro-speedup/1`` winner-by-factor document covering
+every committed cell on ``push:pull``, report holes (a side with no
+cell) instead of crashing, attribute each gap to weighted counter
+deltas, and fail fast on schema-version mismatches -- in both
+directions -- with exit code 2.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.observability.regress import BenchDiffError
+from repro.observability.speedup import (
+    SPEEDUP_SCHEMA, build_speedup, markdown, speedup_cells, summary,
+)
+
+ROOT = Path(__file__).parent.parent
+TRACE = str(ROOT / "BENCH_trace.json")
+
+
+@pytest.fixture(scope="module")
+def doc() -> dict:
+    return build_speedup(TRACE, pairs="push:pull")
+
+
+class TestPushPull:
+    def test_covers_every_committed_cell(self, doc):
+        # the acceptance bar: push:pull alone joins all 20 cells into
+        # 10 rows (every cell has exactly one partner across the axis)
+        assert doc["schema"] == SPEEDUP_SCHEMA
+        assert len(doc["rows"]) == 10
+        assert doc["holes"] == []
+        assert doc["cells_covered"] == doc["cells_total"] == 20
+
+    def test_deterministic(self, doc):
+        again = build_speedup(TRACE, pairs="push:pull")
+        assert json.dumps(doc, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+
+    def test_winner_is_the_faster_side(self, doc):
+        for r in doc["rows"]:
+            lt, rt = r["left"]["time_mtu"], r["right"]["time_mtu"]
+            assert r["factor"] >= 1.0
+            assert r["factor"] == pytest.approx(max(lt, rt) / min(lt, rt))
+            faster = r["left"] if lt <= rt else r["right"]
+            assert r["winner"] == faster["token"]
+
+    def test_attribution_is_weighted_and_ranked(self, doc):
+        for r in doc["rows"]:
+            att = r["attribution"]
+            assert att["unit"] == "mtu"  # machine known -> time-weighted
+            assert att["leaders"]
+            mags = [abs(ld["delta"]) for ld in att["leaders"]]
+            assert mags == sorted(mags, reverse=True)
+
+    def test_rows_carry_critical_decomposition(self, doc):
+        for r in doc["rows"]:
+            for side in (r["left"], r["right"]):
+                assert {"compute", "comm", "sync"} <= set(side["critical"])
+
+    def test_paper_shape_pagerank_pull_wins_sm(self, doc):
+        # Section 6.1: PR push serializes on atomic rank accumulation;
+        # pull is the SM winner at every scale
+        rows = {r["key"]: r for r in doc["rows"]}
+        assert rows["pagerank/*/sm/baseline"]["winner"] == "pull"
+        assert rows["pagerank/*/sm/large"]["winner"] == "pull"
+        lead = rows["pagerank/*/sm/baseline"]["attribution"]["leaders"][0]
+        assert lead["counter"] == "cas" and lead["delta"] > 0
+
+    def test_paper_shape_sssp_push_wins(self, doc):
+        # Section 6.3: delta-stepping pull scans locks every vertex;
+        # push relaxes only the active bucket
+        rows = {r["key"]: r for r in doc["rows"]}
+        assert rows["sssp/*/sm/baseline"]["winner"] == "push"
+        assert rows["sssp/*/sm/large"]["winner"] == "push"
+
+
+class TestAxes:
+    def test_runtime_axis_sm_vs_dm(self):
+        doc = build_speedup(TRACE, pairs="sm:dm")
+        assert len(doc["rows"]) == 6  # 3 algorithms x 2 variants
+        # the large family has no DM cells: 8 holes, not a crash
+        assert all(h["missing_token"] == "dm" for h in doc["holes"])
+        assert len(doc["holes"]) == 8
+        for r in doc["rows"]:
+            assert r["axis"] == "runtime" and r["winner"] == "sm"
+
+    def test_family_axis_baseline_vs_large(self):
+        doc = build_speedup(TRACE, pairs="baseline:large")
+        assert len(doc["rows"]) == 6
+        assert all(r["winner"] == "baseline" for r in doc["rows"])
+
+    def test_resolved_axis_prefix_matches(self):
+        # "rma" is no variant token: the resolved axis prefix-matches
+        # rma-push / rma-pull; "mp" has no committed cells -> a hole
+        doc = build_speedup(TRACE, pairs="mp:rma")
+        assert doc["rows"] == []
+        [hole] = doc["holes"]
+        assert hole["missing_token"] == "mp"
+        assert hole["present_cells"] == 2  # both rma variants matched
+
+    def test_multiple_pairs_one_document(self):
+        doc = build_speedup(TRACE, pairs="push:pull,sm:dm")
+        assert doc["pairs"] == ["push:pull", "sm:dm"]
+        assert len(doc["rows"]) == 16
+
+    def test_bad_pair_spec_raises(self):
+        for spec in ("push", "push:push", "a:b:c", ""):
+            with pytest.raises(BenchDiffError):
+                build_speedup(TRACE, pairs=spec)
+
+
+class TestHoles:
+    def test_one_side_missing_reports_hole(self):
+        cells = [{"algorithm": "pagerank", "variant": "push",
+                  "runtime": "sm", "family": "baseline",
+                  "time_mtu": 10.0, "counters": {"reads": 5}}]
+        core = speedup_cells(cells, "push:pull")
+        assert core["rows"] == []
+        [hole] = core["holes"]
+        assert hole["missing"] == "right"
+        assert hole["missing_token"] == "pull"
+        assert core["cells_covered"] == 0
+
+    def test_empty_cells_join_cleanly(self):
+        core = speedup_cells([], "push:pull")
+        assert core["rows"] == [] and core["holes"] == []
+
+    def test_zero_time_side_has_no_factor(self):
+        cells = [
+            {"algorithm": "a", "variant": "push", "runtime": "sm",
+             "family": "baseline", "time_mtu": 0.0, "counters": {}},
+            {"algorithm": "a", "variant": "pull", "runtime": "sm",
+             "family": "baseline", "time_mtu": 3.0, "counters": {}},
+        ]
+        [row] = speedup_cells(cells, "push:pull")["rows"]
+        assert row["factor"] is None and row["winner"] == "push"
+
+    def test_unknown_machine_falls_back_to_raw_counts(self):
+        cells = [
+            {"algorithm": "a", "variant": "push", "runtime": "sm",
+             "family": "baseline", "machine": "mystery", "time_mtu": 2.0,
+             "counters": {"reads": 10}},
+            {"algorithm": "a", "variant": "pull", "runtime": "sm",
+             "family": "baseline", "machine": "mystery", "time_mtu": 1.0,
+             "counters": {"reads": 4}},
+        ]
+        [row] = speedup_cells(cells, "push:pull")["rows"]
+        att = row["attribution"]
+        assert att["unit"] == "count"
+        assert att["leaders"] == [{"counter": "reads", "delta": 6.0}]
+
+
+class TestSchemaGate:
+    def _old(self, tmp_path, baseline):
+        mut = copy.deepcopy(baseline)
+        mut["schema"] = "repro-bench/2"
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps(mut))
+        return str(p)
+
+    @pytest.fixture()
+    def baseline(self):
+        return json.loads(Path(TRACE).read_text())
+
+    def test_older_against_raises(self, tmp_path, baseline):
+        with pytest.raises(BenchDiffError, match="regenerate the older"):
+            build_speedup(TRACE, against_path=self._old(tmp_path, baseline))
+
+    def test_older_source_raises(self, tmp_path, baseline):
+        # the gate is direction-agnostic: an old *source* against the
+        # current committed document fails the same way
+        with pytest.raises(BenchDiffError, match="regenerate the older"):
+            build_speedup(self._old(tmp_path, baseline), against_path=TRACE)
+
+    def test_matching_against_joins_both_documents(self, tmp_path, baseline):
+        p = tmp_path / "same.json"
+        p.write_text(json.dumps(baseline))
+        doc = build_speedup(TRACE, against_path=str(p), pairs="push:pull")
+        assert doc["cells_total"] == 40
+        assert doc["against"]["cells"] == 20
+
+
+class TestRendering:
+    def test_markdown_tables(self, doc):
+        md = markdown(doc)
+        assert md.startswith("# Speedup tables (repro-speedup/1)")
+        assert "## push vs pull" in md
+        assert md.count("| pagerank/") == 3
+        for r in doc["rows"]:
+            assert f"| {r['key']} |" in md
+
+    def test_markdown_reports_holes(self):
+        md = markdown(build_speedup(TRACE, pairs="mp:rma"))
+        assert "hole" in md and "`mp`" in md
+
+    def test_summary_lines(self, doc):
+        lines = summary(doc)
+        assert "10 comparison(s)" in lines[0]
+        assert "20/20 cells covered" in lines[0]
+        assert len(lines) == 11
+
+
+class TestSpeedupCli:
+    def test_markdown_and_report(self, capsys, tmp_path):
+        report = tmp_path / "speedup.json"
+        rc = main(["bench", "speedup", TRACE, "--pairs", "push:pull",
+                   "--markdown", "--report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## push vs pull" in out
+        assert "comparison(s)" not in out  # markdown replaces the summary
+        saved = json.loads(report.read_text())
+        assert saved["schema"] == SPEEDUP_SCHEMA
+        assert saved["cells_covered"] == 20
+
+    def test_plain_summary_default(self, capsys):
+        rc = main(["bench", "speedup", TRACE])
+        assert rc == 0
+        assert "10 comparison(s)" in capsys.readouterr().out
+
+    def test_deterministic_output(self, capsys):
+        main(["bench", "speedup", TRACE, "--markdown"])
+        first = capsys.readouterr().out
+        main(["bench", "speedup", TRACE, "--markdown"])
+        assert capsys.readouterr().out == first
+
+    def test_holes_exit_zero(self, capsys):
+        rc = main(["bench", "speedup", TRACE, "--pairs", "mp:rma"])
+        assert rc == 0
+        assert "hole" in capsys.readouterr().out
+
+    def test_schema_mismatch_exits_two(self, capsys, tmp_path):
+        old = copy.deepcopy(json.loads(Path(TRACE).read_text()))
+        old["schema"] = "repro-bench/2"
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps(old))
+        for argv in (["bench", "speedup", TRACE, "--against", str(p)],
+                     ["bench", "speedup", str(p), "--against", TRACE]):
+            assert main(argv) == 2
+            assert "regenerate the older" in capsys.readouterr().err
+
+    def test_bad_pair_exits_two(self, capsys):
+        rc = main(["bench", "speedup", TRACE, "--pairs", "push"])
+        assert rc == 2
+        assert "bad pair" in capsys.readouterr().err

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -77,6 +79,18 @@ class TestTraceCommand:
             assert cell["time_mtu"] > 0 and cell["events"]
             assert cell["phases"] and cell["cut"]["edges_total"] > 0
             assert cell["counters"]["l1_misses"] > 0
+            # PR 9: every cell records its critical-path decomposition
+            # (the on-path components sum to the cell time) and its
+            # traffic totals (nonzero only on DM cells)
+            crit = cell["critical"]
+            on_path = (crit["compute"] + crit["comm"]
+                       + crit["injected_stall"] + crit["sync"]
+                       + crit["recovery_stall"])
+            assert on_path == pytest.approx(cell["time_mtu"], rel=1e-9)
+            if cell["runtime"] == "dm":
+                assert crit["comm"] > 0 and cell["traffic"]
+            else:
+                assert crit["comm"] == 0 and cell["traffic"] == {}
         for cell in doc["cells"]:
             if cell["family"] == "large":
                 assert cell["engine"] == "batched"
@@ -87,6 +101,8 @@ class TestTraceCommand:
         assert len(perf["cells"]) == 20
         for cell in perf["cells"]:
             assert "phases" not in cell and cell["time_mtu"] > 0
+            assert cell["critical"] and cell["machine"]
+            assert cell["resolved_variant"]
 
     def test_bench_matches_committed_baseline(self, tmp_path):
         from pathlib import Path
