@@ -31,6 +31,10 @@ Commands
     engine/family axis and emit deterministic winner-by-factor tables
     with per-counter attribution -- the shape of the paper's
     Figures 5-9 (:mod:`repro.observability.speedup`).
+``bench history <doc> [--history PATH] [--label L] [--markdown]``
+    Append a ``repro-bench/*`` snapshot to the append-only
+    ``BENCH_history.jsonl`` timeline and print per-cell trend tables
+    with regression flagging (:mod:`repro.observability.history`).
 """
 
 from __future__ import annotations
@@ -167,6 +171,28 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--cache-scale", type=int, default=64,
                     help="cache-simulation scale factor for counter "
                          "attribution (0 disables the cache simulator)")
+    tr.add_argument("--sink", default="buffer",
+                    choices=("buffer", "stream", "rollup", "sampling"),
+                    help="event retention strategy: buffer = keep every "
+                         "event (default, full post-hoc exports); stream "
+                         "= constant-memory incremental JSONL + online "
+                         "rollup; rollup = metrics.json only, O(steps) "
+                         "memory; sampling = seeded span sample for "
+                         "Chrome/flame plus the exact rollup")
+    tr.add_argument("--sample-events", type=int, default=4096,
+                    help="with --sink sampling: span retention cap")
+    tr.add_argument("--sample-seed", type=int, default=0,
+                    help="with --sink sampling: reservoir seed "
+                         "(same seed + config = identical sample)")
+    tr.add_argument("--wallclock", action="store_true",
+                    help="measure real seconds next to simulated mtu: "
+                         "runs an untraced twin first, reports tracer "
+                         "overhead and per-phase wall time, and adds a "
+                         "'wallclock' block to metrics.json")
+    tr.add_argument("--overhead-budget", type=float, default=None,
+                    metavar="X",
+                    help="fail (exit 1) if traced wall time exceeds X times "
+                         "the untraced run (implies --wallclock)")
 
     bench = sub.add_parser(
         "bench",
@@ -186,6 +212,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bd.add_argument("--report", default=None, metavar="PATH",
                     help="also write the machine-readable verdict "
                          "(repro-benchdiff/1) to PATH")
+    bd.add_argument("--history", default=None, metavar="PATH",
+                    help="also append the candidate to the bench-history "
+                         "timeline at PATH and print its trend")
+    bd.add_argument("--history-label", default=None, metavar="LABEL",
+                    help="snapshot label for --history (default: the "
+                         "candidate file name)")
     bs = bsub.add_parser(
         "speedup",
         help="config-vs-config winner-by-factor tables (the shape of "
@@ -205,6 +237,35 @@ def _build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--report", default=None, metavar="PATH",
                     help="also write the machine-readable document "
                          "(repro-speedup/1) to PATH")
+    bh = bsub.add_parser(
+        "history",
+        help="append-only bench timeline: record repro-bench snapshots "
+             "and print per-cell trend tables with regression flags")
+    bh.add_argument("doc", nargs="?", default=None,
+                    help="repro-bench document to append as a new "
+                         "snapshot (omit to only report on the existing "
+                         "timeline)")
+    bh.add_argument("--history", default="BENCH_history.jsonl",
+                    metavar="PATH",
+                    help="timeline file (repro-bench-history/1 lines; "
+                         "created on first append)")
+    bh.add_argument("--label", default=None,
+                    help="snapshot label (default: the doc file name)")
+    bh.add_argument("--stamp", action="store_true",
+                    help="record the current UTC time on the snapshot "
+                         "(off by default so committed timelines stay "
+                         "deterministic)")
+    bh.add_argument("--markdown", action="store_true",
+                    help="print a markdown trend table instead of the "
+                         "plain summary")
+    bh.add_argument("--last", type=int, default=8, metavar="N",
+                    help="show at most the last N snapshots per cell")
+    bh.add_argument("--threshold-pct", type=float, default=0.0,
+                    help="flag cells whose time_mtu grew more than this "
+                         "percent over the previous snapshot (default 0: "
+                         "any growth)")
+    bh.add_argument("--gate", action="store_true",
+                    help="exit 1 when any cell is flagged as a regression")
     return ap
 
 
@@ -516,6 +577,9 @@ def main(argv=None) -> int:
         if args.bench_command == "speedup":
             from repro.observability.speedup import speedup_main
             return speedup_main(args)
+        if args.bench_command == "history":
+            from repro.observability.history import history_main
+            return history_main(args)
         from repro.observability.regress import diff_main
         return diff_main(args)
     from repro.harness.run_all import main as run_all_main

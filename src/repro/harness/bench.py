@@ -78,15 +78,22 @@ def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
               family: str, engine: str) -> dict:
     from repro.observability.driver import run_traced
     from repro.observability.export import (
-        critical_path, metrics_rollup, traffic_matrix,
+        _dumps, critical_path, metrics_rollup, traffic_matrix,
     )
+    from repro.observability.sinks import BufferSink, RollupSink
 
+    # dual sinks: the buffer feeds the post-hoc exporters below, and
+    # the online rollup is proven byte-equal against them per cell --
+    # so the CI staleness gate re-certifies the incremental path on
+    # every committed cell, every run
+    rollup_sink = RollupSink()
     rt, tracer, resolved, _ = run_traced(
         algorithm, variant=variant, dm=(runtime == "dm"),
         dataset=config["dataset"], n=config["n"],
         P=config["P"], seed=config["seed"],
         iterations=config["iterations"],
-        cache_scale=config["cache_scale"], engine=engine)
+        cache_scale=config["cache_scale"], engine=engine,
+        sinks=[BufferSink(), rollup_sink])
     traced, actual = tracer.reconcile()
     if traced.to_dict() != actual.to_dict():
         raise RuntimeError(
@@ -112,6 +119,11 @@ def _run_cell(algorithm: str, variant: str, runtime: str, config: dict,
     for ev in tracer.events:
         kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
     rollup = metrics_rollup(tracer)
+    if _dumps(rollup_sink.rollup()) != _dumps(rollup):
+        raise RuntimeError(
+            f"bench cell {algorithm}/{variant}/{runtime}/{family} "
+            f"[{engine}]: the incremental RollupSink rollup does not "
+            f"serialize identically to the post-hoc metrics_rollup")
     phases = [{
         "label": p["label"],
         "events": p["events"],

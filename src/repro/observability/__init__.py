@@ -30,9 +30,17 @@ runtimes the same attribution surface:
 * :mod:`repro.observability.flame` -- deterministic folded-stack
   flamegraph export (lane -> phase over simulated time; feeds
   ``flamegraph.pl`` / speedscope).
+* :mod:`repro.observability.sinks` -- pluggable event sinks: buffered
+  retention (the default), constant-memory streaming JSONL, the online
+  bounded-memory metrics rollup (proven byte-equal to the post-hoc
+  rollup on every committed bench cell), and seeded span sampling for
+  Chrome/flame export at scales where full retention is impossible.
 * :mod:`repro.observability.regress` -- semantic perf-baseline diffing
   (``repro bench diff``): metric-by-metric comparison with tolerances,
   drift attributed to cell -> phase -> counter.
+* :mod:`repro.observability.history` -- the append-only bench-history
+  timeline (``repro bench history``): ``repro-bench/*`` snapshots on a
+  JSONL timeline with per-cell trend tables and regression flags.
 * :mod:`repro.observability.speedup` -- comparative analysis
   (``repro bench speedup``): config-vs-config winner-by-factor tables
   (the shape of the paper's Figures 5-9) with per-counter attribution
@@ -54,23 +62,38 @@ from repro.observability.flame import folded_stacks, write_flame
 from repro.observability.hwcounters import (
     equip_cache_sim, miss_asymmetry, miss_rates,
 )
+from repro.observability.history import (
+    HISTORY_SCHEMA, load_history, render_trend, snapshot_from_doc,
+)
 from repro.observability.regress import (
     BENCHDIFF_SCHEMA, BenchDiff, BenchDiffError, Drift, diff_bench,
     diff_paths, load_baseline,
 )
+from repro.observability.sinks import (
+    BufferSink, JsonlStreamSink, RollupSink, SamplingSink, TraceSink,
+)
 from repro.observability.speedup import SPEEDUP_SCHEMA, build_speedup
-from repro.observability.tracer import Tracer, attach_tracer, edge_cut
+from repro.observability.tracer import (
+    Tracer, WallclockProfiler, attach_tracer, edge_cut,
+)
 
 __all__ = [
     "BENCHDIFF_SCHEMA",
     "BenchDiff",
     "BenchDiffError",
+    "BufferSink",
     "Drift",
+    "HISTORY_SCHEMA",
+    "JsonlStreamSink",
     "METRICS_SCHEMA",
+    "RollupSink",
     "SCHEMA",
     "SPEEDUP_SCHEMA",
+    "SamplingSink",
     "TraceEvent",
+    "TraceSink",
     "Tracer",
+    "WallclockProfiler",
     "attach_tracer",
     "build_speedup",
     "chrome_trace",
@@ -81,9 +104,12 @@ __all__ = [
     "equip_cache_sim",
     "folded_stacks",
     "load_baseline",
+    "load_history",
     "metrics_rollup",
     "miss_asymmetry",
     "miss_rates",
+    "render_trend",
+    "snapshot_from_doc",
     "to_jsonl_lines",
     "traffic_matrix",
     "write_flame",

@@ -118,7 +118,8 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
                faults: bool = False, dataset: str = "er", n: int = 96,
                P: int = 4, seed: int = 7, iterations: int = 5,
                fault_seed: int = 1, cache_scale: int = DEFAULT_CACHE_SCALE,
-               attach=None, engine: str = "interpreted"):
+               attach=None, engine: str = "interpreted", sinks=None,
+               wallclock: bool = False, traced: bool = True):
     """Run one kernel under a fresh tracer.
 
     Returns ``(rt, tracer, resolved_variant, result)``.  ``faults``
@@ -136,6 +137,13 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     dispatches to the stream-emitting kernels (:mod:`repro.streams`);
     counters, span deltas, and results are byte-identical to the
     interpreted kernels (certified by tests/test_streams_differential).
+
+    ``sinks`` selects the tracer's retention strategy
+    (:mod:`repro.observability.sinks`; default: one buffering sink).
+    ``wallclock=True`` attaches the wall-clock self-profiler.
+    ``traced=False`` skips the tracer entirely (``tracer`` comes back
+    ``None``) -- the untraced twin the overhead measurement compares
+    against.
     """
     from repro.analysis.runner import instance_graph
     g = instance_graph(dataset, n, d_bar=4.0, seed=seed,
@@ -148,7 +156,9 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
         rt = SMRuntime(g, P)
     if cache_scale:
         equip_cache_sim(rt, cache_scale=cache_scale)
-    tracer = attach_tracer(rt, graph=g)
+    tracer = attach_tracer(rt, graph=g, sinks=sinks) if traced else None
+    if tracer is not None and wallclock:
+        tracer.enable_wallclock()
     if faults:
         if dm:
             from repro.runtime.faults import attach_fault_injector
@@ -163,6 +173,29 @@ def run_traced(algorithm: str, variant: str = "push", dm: bool = False,
     return rt, tracer, resolved, result
 
 
+def _make_sinks(args):
+    """Build the sink list the ``--sink`` flag selects (None = default
+    buffer).  The streaming sink opens its file at attach, so the
+    output directory is created here."""
+    import os
+
+    from repro.observability.sinks import (
+        JsonlStreamSink, RollupSink, SamplingSink,
+    )
+    if args.sink == "buffer":
+        return None
+    if args.sink == "rollup":
+        return [RollupSink()]
+    if args.sink == "sampling":
+        return [SamplingSink(max_events=args.sample_events,
+                             seed=args.sample_seed)]
+    # stream: constant-memory JSONL plus the online rollup so
+    # metrics.json and the reconciliation checks still exist
+    os.makedirs(args.out, exist_ok=True)
+    return [JsonlStreamSink(os.path.join(args.out, "events.jsonl")),
+            RollupSink()]
+
+
 def trace_main(args) -> int:
     """Back the ``repro trace`` CLI subcommand; returns an exit code."""
     if args.bench:
@@ -174,32 +207,76 @@ def trace_main(args) -> int:
     if args.algorithm is None:
         print("error: an algorithm is required unless --bench is given")
         return 2
-    rt, tracer, resolved, _result = run_traced(
-        args.algorithm, variant=args.variant, dm=args.dm, faults=args.faults,
+    budget = args.overhead_budget
+    wallclock = args.wallclock or budget is not None
+    config = dict(
+        variant=args.variant, dm=args.dm, faults=args.faults,
         dataset=args.dataset, n=args.scale, P=args.procs, seed=args.seed,
         iterations=args.iterations, fault_seed=args.fault_seed,
         cache_scale=args.cache_scale, engine=args.engine)
+    untraced_s = None
+    if wallclock:
+        import time
+
+        # warm the kernel/engine imports on a tiny instance so neither
+        # timed run pays first-import cost, then time the untraced twin
+        warm = dict(config, n=min(96, args.scale), iterations=1)
+        run_traced(args.algorithm, **warm, traced=False)
+        t0 = time.perf_counter()
+        run_traced(args.algorithm, **config, traced=False)
+        untraced_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rt, tracer, resolved, _result = run_traced(
+            args.algorithm, **config, sinks=_make_sinks(args),
+            wallclock=True)
+        tracer.wallclock.finish(
+            traced_s=time.perf_counter() - t0, untraced_s=untraced_s,
+            peak_sink_bytes=tracer.peak_sink_bytes)
+    else:
+        rt, tracer, resolved, _result = run_traced(
+            args.algorithm, **config, sinks=_make_sinks(args))
     paths = write_outputs(tracer, args.out, flame=args.flame)
-    kinds: dict[str, int] = {}
-    for ev in tracer.events:
-        kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+    from repro.observability.sinks import format_bytes
+    kinds = tracer.kind_counts
     runtime = "dm" if args.dm else "sm"
     print(f"traced {args.algorithm}/{resolved} [{runtime}] on "
           f"{args.dataset} n={args.scale} P={args.procs}: "
-          f"{len(tracer.events)} events, {rt.time:,.0f} mtu")
+          f"{tracer.n_events} events, {rt.time:,.0f} mtu")
     print("  " + "  ".join(f"{k}={kinds[k]}" for k in sorted(kinds)))
+    print("  sinks: " + ", ".join(s.name for s in tracer.sinks)
+          + f"  events={tracer.n_events}"
+          + f"  peak-sink-mem={format_bytes(tracer.peak_sink_bytes)}")
     traced, actual = tracer.reconcile()
     status = "ok" if traced.to_dict() == actual.to_dict() else "MISMATCH"
     print(f"  counter reconciliation: {status}")
-    from repro.observability.export import critical_path
-    crit = critical_path(tracer)["totals"]
+    crit = tracer.critical_totals()
     tstatus = "ok" if crit["reconciled"] else "MISMATCH"
     print(f"  time decomposition: {tstatus} "
           f"(compute={crit['compute']:,.0f} comm={crit['comm']:,.0f} "
           f"sync={crit['sync']:,.0f} "
           f"stall={crit['injected_stall'] + crit['recovery_stall']:,.0f} "
           f"off-path={crit['off_path_idle']:,.0f})")
+    if wallclock:
+        wc = tracer.wallclock
+        rate = wc.events / wc.traced_s if wc.traced_s else 0.0
+        print(f"  wallclock: traced={wc.traced_s:.3f}s "
+              f"untraced={untraced_s:.3f}s "
+              f"overhead={wc.overhead_x:.2f}x "
+              f"({rate:,.0f} events/s)")
     for key in ("jsonl", "chrome", "metrics", "flame"):
         if key in paths:
             print(f"  {key}: {paths[key]}")
-    return 0 if status == "ok" and tstatus == "ok" else 1
+    skipped = [k for k in (("chrome", "metrics")
+                           + (("flame",) if args.flame else ()))
+               if k not in paths]
+    if skipped:
+        print("  skipped (no sink retains what these need): "
+              + ", ".join(skipped))
+    ok = status == "ok" and tstatus == "ok"
+    if budget is not None and wc.overhead_x is not None \
+            and wc.overhead_x > budget:
+        print(f"  OVERHEAD BUDGET EXCEEDED: {wc.overhead_x:.2f}x > "
+              f"{budget:.2f}x (traced {wc.traced_s:.3f}s vs untraced "
+              f"{untraced_s:.3f}s)")
+        ok = False
+    return 0 if ok else 1

@@ -99,3 +99,24 @@ class TraceEvent:
             "label": self.label,
             "data": self.data,
         }
+
+    def approx_nbytes(self) -> int:
+        """Cheap, deterministic estimate of this record's Python heap
+        footprint -- what a :class:`~repro.observability.sinks.BufferSink`
+        charges its memory accounting per retained event.  It is an
+        O(size-of-event) shallow walk (CPython object-header constants,
+        no ``sys.getsizeof`` recursion), so the trace layer can report
+        peak sink memory without measurably slowing emission."""
+        return 176 + 49 + len(self.label) + approx_value_nbytes(self.data)
+
+
+def approx_value_nbytes(v) -> int:
+    """Approximate heap bytes of one JSON-shaped value (see above)."""
+    if isinstance(v, dict):
+        return 64 + sum(56 + len(k) + approx_value_nbytes(x)
+                        for k, x in v.items())
+    if isinstance(v, (list, tuple)):
+        return 56 + sum(8 + approx_value_nbytes(x) for x in v)
+    if isinstance(v, str):
+        return 49 + len(v)
+    return 28

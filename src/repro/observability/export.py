@@ -332,7 +332,7 @@ def metrics_rollup(tracer) -> dict:
     traced = tracer.traced_totals()
     totals = traced.to_dict()
     phase_rows = [phases[label] for label in phase_order]
-    return {
+    roll = {
         "schema": METRICS_SCHEMA,
         "meta": tracer.meta(),
         "time_mtu": tracer.rt.time - tracer.start_time,
@@ -348,6 +348,13 @@ def metrics_rollup(tracer) -> dict:
         "switches": switches,
         "totals": {k: v for k, v in totals.items() if v},
     }
+    # wall-clock self-profiling block: only when explicitly enabled
+    # (repro trace --wallclock), so default rollups stay byte-identical
+    # and deterministic
+    wallclock = getattr(tracer, "wallclock", None)
+    if wallclock is not None:
+        roll["wallclock"] = wallclock.block()
+    return roll
 
 
 def _cache_view(phase_rows: list[dict]) -> dict:
@@ -365,28 +372,62 @@ def _cache_view(phase_rows: list[dict]) -> dict:
 
 
 def write_outputs(tracer, outdir: str, flame: bool = False) -> dict:
-    """Write ``events.jsonl``, ``trace.json``, ``metrics.json``.
+    """Write whatever views the tracer's sinks can back.
 
-    With ``flame=True`` also writes the folded-stack flamegraph
-    ``flame.folded``.  Returns ``{"jsonl": path, "chrome": path,
-    "metrics": path[, "flame": path]}``.
+    A buffered tracer (the default) writes ``events.jsonl``,
+    ``trace.json``, ``metrics.json`` exactly as before -- byte-identical
+    outputs.  With bounded-memory sinks instead, each export comes from
+    the sink that can answer it: a :class:`~repro.observability.sinks.
+    JsonlStreamSink` already streamed ``events.jsonl`` (it is closed
+    here and its path returned), a :class:`~repro.observability.sinks.
+    RollupSink` renders ``metrics.json`` from its online accumulators,
+    and a :class:`~repro.observability.sinks.SamplingSink` renders the
+    Chrome/flame span views from its retained sample.  Views no
+    attached sink can back are skipped rather than failed.  With
+    ``flame=True`` also writes the folded-stack flamegraph
+    ``flame.folded``.  Returns the ``{view: path}`` map of what was
+    written.
     """
+    from repro.observability.sinks import (
+        BufferSink, JsonlStreamSink, SamplingSink,
+    )
     os.makedirs(outdir, exist_ok=True)
-    paths = {
-        "jsonl": os.path.join(outdir, "events.jsonl"),
-        "chrome": os.path.join(outdir, "trace.json"),
-        "metrics": os.path.join(outdir, "metrics.json"),
-    }
-    with open(paths["jsonl"], "w") as fh:
-        fh.write("\n".join(to_jsonl_lines(tracer)) + "\n")
-    with open(paths["chrome"], "w") as fh:
-        fh.write(_dumps(chrome_trace(tracer)) + "\n")
-    with open(paths["metrics"], "w") as fh:
-        fh.write(_dumps(metrics_rollup(tracer)) + "\n")
-    if flame:
-        from repro.observability.flame import write_flame
-        paths["flame"] = write_flame(tracer, os.path.join(outdir,
-                                                          "flame.folded"))
+    paths = {}
+    stream = tracer.find_sink(JsonlStreamSink)
+    if stream is not None:
+        stream.close()
+        paths["jsonl"] = stream.path
+    if tracer.find_sink(BufferSink) is not None:
+        if "jsonl" not in paths:
+            paths["jsonl"] = os.path.join(outdir, "events.jsonl")
+            with open(paths["jsonl"], "w") as fh:
+                fh.write("\n".join(to_jsonl_lines(tracer)) + "\n")
+        paths["chrome"] = os.path.join(outdir, "trace.json")
+        paths["metrics"] = os.path.join(outdir, "metrics.json")
+        with open(paths["chrome"], "w") as fh:
+            fh.write(_dumps(chrome_trace(tracer)) + "\n")
+        with open(paths["metrics"], "w") as fh:
+            fh.write(_dumps(metrics_rollup(tracer)) + "\n")
+        if flame:
+            from repro.observability.flame import write_flame
+            paths["flame"] = write_flame(
+                tracer, os.path.join(outdir, "flame.folded"))
+        return paths
+    roll = tracer._rollup_sink()
+    if roll is not None:
+        paths["metrics"] = os.path.join(outdir, "metrics.json")
+        with open(paths["metrics"], "w") as fh:
+            fh.write(_dumps(roll.rollup()) + "\n")
+    sampler = tracer.find_sink(SamplingSink)
+    if sampler is not None:
+        view = sampler.view()
+        paths["chrome"] = os.path.join(outdir, "trace.json")
+        with open(paths["chrome"], "w") as fh:
+            fh.write(_dumps(chrome_trace(view)) + "\n")
+        if flame:
+            from repro.observability.flame import write_flame
+            paths["flame"] = write_flame(
+                view, os.path.join(outdir, "flame.folded"))
     return paths
 
 

@@ -33,8 +33,13 @@ All timestamps are simulated mtu, so traces are deterministic.
 
 from __future__ import annotations
 
+import time
+
 from repro.machine.counters import PerfCounters
 from repro.observability.events import RECOVERY_KINDS, SCHEMA, TraceEvent
+from repro.observability.sinks import (
+    BufferSink, RollupSink, SamplingSink, TraceSink,
+)
 
 
 def _nonzero(c: PerfCounters) -> dict:
@@ -45,17 +50,35 @@ def _nonzero(c: PerfCounters) -> dict:
 class Tracer:
     """Records typed events from one runtime; see the module docstring.
 
+    Events flow through :meth:`_emit` into the attached *sinks*
+    (:mod:`repro.observability.sinks`).  The default is a single
+    :class:`BufferSink` -- every event retained in order, ``.events``
+    exposed for the post-hoc exporters, byte-identical to the
+    pre-sink tracer.  Alternative sinks trade retention for bounded
+    memory (streaming JSONL, online rollup, seeded span sampling);
+    the tracer itself only keeps O(1) bookkeeping (sequence number,
+    per-kind counts, the peak of the sinks' approximate retained
+    bytes in :attr:`peak_sink_bytes`).
+
     The tracer never mutates runtime state; it is re-armed by
-    ``rt.reset()`` (events cleared, counter baseline re-snapshotted) so
+    ``rt.reset()`` (sinks reset, counter baseline re-snapshotted) so
     a reused runtime produces a fresh, reconcilable trace per run.
     """
 
-    def __init__(self, rt, graph=None) -> None:
+    def __init__(self, rt, graph=None,
+                 sinks: list[TraceSink] | None = None) -> None:
         self.rt = rt
         self.is_dm = hasattr(rt, "superstep")
-        self.events: list[TraceEvent] = []
+        self.sinks: list[TraceSink] = (list(sinks) if sinks is not None
+                                       else [BufferSink()])
         self._seq = 0
         self.n_regions = 0
+        self.n_events = 0
+        self.kind_counts: dict[str, int] = {}
+        self.peak_sink_bytes = 0
+        #: wall-clock self-profiler (:meth:`enable_wallclock`); when set,
+        #: the metrics rollup gains a ``wallclock`` block
+        self.wallclock: WallclockProfiler | None = None
         self.start_time = rt.time
         self.start_counters = rt.total_counters()
         #: partition edge-cut summary (set when a graph is supplied)
@@ -64,6 +87,51 @@ class Tracer:
         self._ss_t0: float = rt.time
         self._ss_befores: list[float] = []
         self._ss_snaps: list[PerfCounters] = []
+        for sink in self.sinks:
+            sink.bind(self)
+
+    # -- sink plumbing -------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained event list of the attached :class:`BufferSink`.
+
+        Only a buffering tracer has one; under streaming/rollup sinks
+        the events were deliberately not retained, and post-hoc
+        consumers must use the sink's own view instead.
+        """
+        sink = self.find_sink(BufferSink)
+        if sink is None:
+            raise AttributeError(
+                "this tracer has no BufferSink (sinks: "
+                + ", ".join(s.name for s in self.sinks)
+                + "); post-hoc event access requires buffered retention")
+        return sink.events
+
+    def find_sink(self, cls: type) -> TraceSink | None:
+        """The first attached sink of type ``cls`` (or ``None``)."""
+        for sink in self.sinks:
+            if isinstance(sink, cls):
+                return sink
+        return None
+
+    def _rollup_sink(self) -> RollupSink | None:
+        """The attached rollup accumulator, direct or sampler-embedded."""
+        sink = self.find_sink(RollupSink)
+        if sink is not None:
+            return sink
+        sampler = self.find_sink(SamplingSink)
+        return sampler.rollup if sampler is not None else None
+
+    def enable_wallclock(self) -> "WallclockProfiler":
+        """Attach the wall-clock self-profiler (idempotent)."""
+        if self.wallclock is None:
+            self.wallclock = WallclockProfiler()
+        return self.wallclock
+
+    def close(self) -> None:
+        """Flush/close every attached sink (idempotent)."""
+        for sink in self.sinks:
+            sink.close()
 
     # -- bookkeeping ---------------------------------------------------------------
     def meta(self) -> dict:
@@ -77,22 +145,42 @@ class Tracer:
         }
 
     def on_reset(self) -> None:
-        """Re-arm for a fresh run (called by ``rt.reset()``)."""
-        self.events = []
+        """Re-arm for a fresh run (called by ``rt.reset()``).
+
+        Resets sink state too: the buffer clears, a streaming file
+        truncates and rewrites its header, rollup accumulators zero,
+        the sampler reseeds.  ``peak_sink_bytes`` is a high-water mark
+        across the tracer's lifetime and survives.
+        """
         self._seq = 0
         self.n_regions = 0
+        self.n_events = 0
+        self.kind_counts = {}
         self.start_time = self.rt.time
         self.start_counters = self.rt.total_counters()
         self._ss_befores = []
         self._ss_snaps = []
+        for sink in self.sinks:
+            sink.on_reset()
+        if self.wallclock is not None:
+            self.wallclock.on_reset()
 
     def _emit(self, kind: str, ts: float, dur: float = 0.0,
               lane: int | None = None, label: str = "",
               data: dict | None = None) -> None:
-        self.events.append(TraceEvent(
+        ev = TraceEvent(
             seq=self._seq, kind=kind, ts=float(ts), dur=float(dur),
-            lane=lane, label=label, data=data or {}))
+            lane=lane, label=label, data=data or {})
         self._seq += 1
+        self.n_events += 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        for sink in self.sinks:
+            sink.on_event(ev)
+        retained = sum(sink.nbytes for sink in self.sinks)
+        if retained > self.peak_sink_bytes:
+            self.peak_sink_bytes = retained
+        if self.wallclock is not None:
+            self.wallclock.on_event(ev)
 
     def _lanes(self) -> list[float]:
         """Per-rank progress (mtu) within the open superstep."""
@@ -236,7 +324,20 @@ class Tracer:
     # -- reconciliation ------------------------------------------------------------------
     def traced_totals(self) -> PerfCounters:
         """Sum of every recorded counter delta (regions/supersteps +
-        barrier episodes) -- must equal the run-level totals."""
+        barrier episodes) -- must equal the run-level totals.
+
+        Answered from the buffered events when a :class:`BufferSink` is
+        attached, else from the online rollup accumulator -- both sum
+        the same integer deltas in emission order, so the reconciliation
+        surface is sink-independent.
+        """
+        if self.find_sink(BufferSink) is None:
+            roll = self._rollup_sink()
+            if roll is None:
+                raise AttributeError(
+                    "traced_totals() needs a BufferSink or RollupSink; "
+                    "sinks: " + ", ".join(s.name for s in self.sinks))
+            return roll.traced_totals()
         acc = PerfCounters()
         for ev in self.events:
             if ev.kind in ("region", "superstep"):
@@ -267,12 +368,111 @@ class Tracer:
         totals agree to float associativity (the DM runtime adds
         ``span + stall + barrier`` in one expression), so callers
         compare with a tight relative tolerance rather than ``==``.
+
+        Like :meth:`traced_totals`, answered from the buffer when one
+        is attached, else from the rollup accumulator (which added the
+        same durations in the same emission order, so the float is
+        bit-identical).
         """
+        actual = self.rt.time - self.start_time
+        if self.find_sink(BufferSink) is None:
+            roll = self._rollup_sink()
+            if roll is None:
+                raise AttributeError(
+                    "reconcile_time() needs a BufferSink or RollupSink; "
+                    "sinks: " + ", ".join(s.name for s in self.sinks))
+            return roll.decomposed_mtu, actual
         decomposed = 0.0
         for ev in self.events:
             if ev.kind in ("region", "superstep", "stall", "barrier"):
                 decomposed += ev.dur
-        return decomposed, self.rt.time - self.start_time
+        return decomposed, actual
+
+    def critical_totals(self) -> dict:
+        """The critical-path ``totals`` block, whichever sink can answer.
+
+        Buffered tracers compute it post-hoc
+        (:func:`repro.observability.export.critical_path`); rollup /
+        sampling tracers read the online accumulator.
+        """
+        if self.find_sink(BufferSink) is not None:
+            from repro.observability.export import critical_path
+            return critical_path(self)["totals"]
+        roll = self._rollup_sink()
+        if roll is None:
+            raise AttributeError(
+                "critical_totals() needs a BufferSink or RollupSink; "
+                "sinks: " + ", ".join(s.name for s in self.sinks))
+        return roll.critical()["totals"]
+
+
+class WallclockProfiler:
+    """Real-seconds self-profiling next to the simulated-mtu trace.
+
+    Attached via :meth:`Tracer.enable_wallclock`.  Charges the wall
+    time elapsed since the previous region/superstep emission to that
+    phase label (the tracer's emission points partition the run), and
+    :meth:`block` renders the ``wallclock`` block the metrics rollup
+    gains when the profiler is attached: per-phase wall seconds, traced
+    vs. untraced wall time, the overhead factor, event throughput, and
+    peak sink memory.  Everything here is *wall* time and therefore
+    nondeterministic -- which is why the block only exists when
+    explicitly enabled (``repro trace --wallclock``); default outputs
+    stay byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        self._t0 = time.perf_counter()
+        self._last = self._t0
+        self._phase_order: list[str] = []
+        self._phase_s: dict[str, float] = {}
+        self.events = 0
+        self.traced_s: float | None = None
+        self.untraced_s: float | None = None
+        self.peak_sink_bytes: int | None = None
+
+    def on_event(self, ev: TraceEvent) -> None:
+        self.events += 1
+        if ev.kind in ("region", "superstep"):
+            now = time.perf_counter()
+            if ev.label not in self._phase_s:
+                self._phase_order.append(ev.label)
+                self._phase_s[ev.label] = 0.0
+            self._phase_s[ev.label] += now - self._last
+            self._last = now
+
+    def finish(self, traced_s: float, untraced_s: float | None = None,
+               peak_sink_bytes: int | None = None) -> None:
+        """Record the end-to-end measurements before export."""
+        self.traced_s = float(traced_s)
+        self.untraced_s = None if untraced_s is None else float(untraced_s)
+        self.peak_sink_bytes = peak_sink_bytes
+
+    @property
+    def overhead_x(self) -> float | None:
+        """Traced / untraced wall-time factor (``None`` until known)."""
+        if self.traced_s is None or not self.untraced_s:
+            return None
+        return self.traced_s / self.untraced_s
+
+    def block(self) -> dict:
+        """The ``wallclock`` block of the metrics rollup."""
+        traced = (self.traced_s if self.traced_s is not None
+                  else time.perf_counter() - self._t0)
+        return {
+            "clock": "wall-seconds",
+            "traced_s": traced,
+            "untraced_s": self.untraced_s,
+            "overhead_x": self.overhead_x,
+            "events": self.events,
+            "events_per_s": (self.events / traced) if traced > 0 else 0.0,
+            "peak_sink_bytes": self.peak_sink_bytes,
+            "phases": [{"label": label, "seconds": self._phase_s[label]}
+                       for label in self._phase_order],
+        }
 
 
 def _plain(v):
@@ -311,7 +511,7 @@ def edge_cut(g, part) -> dict:
     }
 
 
-def attach_tracer(rt, graph=None) -> Tracer:
+def attach_tracer(rt, graph=None, sinks=None) -> Tracer:
     """Install a :class:`Tracer` as ``rt.tracer`` and return it.
 
     Composes with ``attach_dm_race_detector`` and
@@ -319,8 +519,10 @@ def attach_tracer(rt, graph=None) -> Tracer:
     hook).  Re-attaching replaces the previous tracer.  Passing the
     input ``graph`` lets the tracer compute the partition edge-cut
     summary the metrics rollup reports next to the communication verb
-    counts (``rollup["cut"]``).
+    counts (``rollup["cut"]``).  ``sinks`` selects the retention
+    strategy (default: one :class:`~repro.observability.sinks.
+    BufferSink`, the byte-identical pre-sink behavior).
     """
-    tracer = Tracer(rt, graph=graph)
+    tracer = Tracer(rt, graph=graph, sinks=sinks)
     rt.tracer = tracer
     return tracer

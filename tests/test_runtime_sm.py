@@ -132,6 +132,33 @@ class TestSMRuntime:
         assert rt.thread_counters[0].reads == 7
         assert all(c.reads == 0 for c in rt.thread_counters[1:])
 
+    def test_reset_rearms_tracer_sinks(self, er_graph, tmp_path):
+        """reset() must reset attached sink state, not just the
+        tracer's own baselines: the buffer clears, the rollup
+        accumulators zero, and a streaming file truncates back to its
+        header line (a reused runtime must not leak the previous run's
+        events into any sink)."""
+        from repro.observability.export import _dumps
+        from repro.observability.sinks import (
+            BufferSink, JsonlStreamSink, RollupSink,
+        )
+        from repro.observability.tracer import attach_tracer
+
+        rt = make_runtime(er_graph, P=2)
+        buf, roll = BufferSink(), RollupSink()
+        stream = JsonlStreamSink(str(tmp_path / "events.jsonl"))
+        tracer = attach_tracer(rt, sinks=[buf, roll, stream])
+        rt.for_each_thread(lambda t, vs: None)
+        rt.barrier()
+        assert buf.events and roll.rollup()["steps"]
+        rt.reset()
+        assert buf.events == []
+        assert roll.rollup()["steps"] == []
+        assert sum(roll.traced_totals().to_dict().values()) == 0
+        stream.close()
+        assert (tmp_path / "events.jsonl").read_text() == \
+            _dumps(tracer.meta()) + "\n"
+
     def test_ownership_violation_on_non_owned_pull_write(self, er_graph):
         """A pull kernel writing a remote vertex trips the Section-3.8
         assertion at the exact offending write."""

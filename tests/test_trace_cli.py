@@ -104,6 +104,85 @@ class TestTraceCommand:
             assert cell["critical"] and cell["machine"]
             assert cell["resolved_variant"]
 
+    def test_sink_summary_line(self, capsys, tmp_path):
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--out", str(tmp_path / "t")])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "sinks: buffer" in text
+        assert "events=" in text and "peak-sink-mem=" in text
+
+    def test_sink_rollup_skips_span_exports(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--sink", "rollup", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "sinks: rollup" in text
+        assert "counter reconciliation: ok" in text
+        assert "skipped (no sink retains what these need)" in text
+        assert (out / "metrics.json").exists()
+        assert not (out / "trace.json").exists()
+        assert not (out / "events.jsonl").exists()
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["schema"] == "repro-metrics/3"
+
+    def test_sink_stream_writes_incremental_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "pull", "--dm",
+                   "--sink", "stream", "--out", str(out)])
+        assert rc == 0
+        assert "sinks: jsonl-stream, rollup" in capsys.readouterr().out
+        lines = (out / "events.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["runtime"] == "dm"
+        assert len(lines) > 1
+        assert (out / "metrics.json").exists()
+
+    def test_sink_sampling_marks_chrome_export(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--sink", "sampling", "--sample-events", "16",
+                   "--flame", "--out", str(out)])
+        assert rc == 0
+        assert "sinks: sampling" in capsys.readouterr().out
+        chrome = json.loads((out / "trace.json").read_text())
+        sampled = chrome["otherData"]["sampled"]
+        assert sampled["retained"] <= 16
+        assert (out / "flame.folded").read_text()
+        # exact counters still present despite sampled spans
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["totals"]["reads"] > 0
+
+    def test_wallclock_profile(self, capsys, tmp_path):
+        out = tmp_path / "t"
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--wallclock", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "wallclock: traced=" in text
+        assert "overhead=" in text and "events/s" in text
+        block = json.loads((out / "metrics.json").read_text())["wallclock"]
+        assert block["clock"] == "wall-seconds"
+        assert block["traced_s"] > 0 and block["untraced_s"] > 0
+        assert block["events"] > 0 and block["peak_sink_bytes"] > 0
+        assert block["phases"]
+
+    def test_wallclock_absent_without_flag(self, tmp_path):
+        out = tmp_path / "t"
+        assert main(["trace", "pagerank", "--variant", "push",
+                     "--out", str(out)]) == 0
+        assert "wallclock" not in json.loads(
+            (out / "metrics.json").read_text())
+
+    def test_overhead_budget_exceeded_fails(self, capsys, tmp_path):
+        # a traced run cannot finish in half the untraced wall time,
+        # so a 0.5x budget must trip the gate regardless of noise
+        rc = main(["trace", "pagerank", "--variant", "push",
+                   "--overhead-budget", "0.5",
+                   "--out", str(tmp_path / "t")])
+        assert rc == 1
+        assert "OVERHEAD BUDGET EXCEEDED" in capsys.readouterr().out
+
     def test_bench_matches_committed_baseline(self, tmp_path):
         from pathlib import Path
         root = Path(__file__).parent.parent
